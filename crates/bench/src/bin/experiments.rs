@@ -1,0 +1,73 @@
+//! Prints the full experiment suite: the regenerated Table I, the two
+//! figure scenarios, and the nine quantified-claim experiments.
+//!
+//! ```sh
+//! cargo run --release -p mseh-bench --bin experiments
+//! ```
+
+use mseh_bench as bench;
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    banner("T1 — Table I, computed from the platform models");
+    let (_, rendered) = bench::table1();
+    println!("{rendered}");
+
+    banner("F1 — Smart Power Unit (System A)");
+    println!("{}", bench::fig1_system_a(7, 14.0));
+
+    banner("F2 — Plug-and-Play (System B)");
+    println!("{}", bench::fig2_system_b(2.0));
+
+    banner("E1 — multi-source availability");
+    println!("{}", bench::e1_multisource_availability(30.0, 7));
+
+    banner("E2 — buffer sizing");
+    println!(
+        "{}",
+        bench::e2_buffer_sizing(14.0, 77, &[2.0, 5.0, 10.0, 22.0, 50.0, 100.0, 200.0])
+    );
+
+    banner("E3 — MPPT overhead vs benefit");
+    println!(
+        "{}",
+        bench::e3_mppt_overhead(&[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0])
+    );
+
+    banner("E4 — output-stage quiescent vs efficiency");
+    println!(
+        "{}",
+        bench::e4_quiescent_tradeoff(&[0.0002, 0.001, 0.005, 0.02, 0.1, 0.3, 0.6, 1.0])
+    );
+
+    banner("E5 — quiescent current by platform");
+    println!("{}", bench::e5_quiescent_by_system());
+
+    banner("E6 — swap compatibility");
+    println!("{}", bench::e6_swap_compatibility());
+
+    banner("E7 — energy-awareness benefit");
+    println!("{}", bench::e7_energy_awareness(7.0, 31));
+
+    banner("E8 — intelligence placement / smart harvester");
+    println!("{}", bench::e8_smart_harvester());
+
+    banner("E9 — storage characteristics");
+    println!("{}", bench::e9_storage_characteristics());
+
+    banner("E10 — forecasting-awareness extension");
+    println!("{}", bench::e10_forecast_policy(7.0, 31));
+
+    banner("A1–A3 — model-fidelity ablations");
+    println!("{}", bench::a1_capacitance_model());
+    println!("{}", bench::a2_leakage());
+    println!(
+        "{}",
+        bench::a3_converter_efficiency(&[0.05, 0.5, 5.0, 50.0, 300.0])
+    );
+}

@@ -1,0 +1,49 @@
+//! The experiment harness: code that regenerates every table and figure
+//! of the survey, plus the quantified-claim experiments (E1–E9) indexed
+//! in `DESIGN.md`.
+//!
+//! Each experiment is a function returning a typed result with a
+//! `Display` implementation that prints the paper-style table:
+//!
+//! | Id | Function | Source in the paper |
+//! |---|---|---|
+//! | T1 | [`table1`] | Table I |
+//! | F1 | [`fig1_system_a`] | Fig. 1 (Smart Power Unit) |
+//! | F2 | [`fig2_system_b`] | Fig. 2 (Plug-and-Play) |
+//! | E1 | [`e1_multisource_availability`] | §I availability claim |
+//! | E2 | [`e2_buffer_sizing`] | §I buffer claim |
+//! | E3 | [`e3_mppt_overhead`] | §II.1/§IV MPPT claim |
+//! | E4 | [`e4_quiescent_tradeoff`] | §II.1 output-stage trade |
+//! | E5 | [`e5_quiescent_by_system`] | Table I quiescent row |
+//! | E6 | [`e6_swap_compatibility`] | §III.2 restrictiveness |
+//! | E7 | [`e7_energy_awareness`] | §IV adaptivity claim |
+//! | E8 | [`e8_smart_harvester`] | §II.4 / §IV smart harvester |
+//! | E9 | [`e9_storage_characteristics`] | §II.1 refs \[9\],\[10\] |
+//! | E10 | [`e10_forecast_policy`] | extension: forecasting awareness |
+//! | A1–A3 | [`a1_capacitance_model`], [`a2_leakage`], [`a3_converter_efficiency`] | model-fidelity ablations |
+//!
+//! `cargo run --release -p mseh-bench --bin experiments` prints the full
+//! suite; the Criterion benches in `benches/` time the same kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablations;
+mod claims_arch;
+mod claims_energy;
+mod figures;
+
+pub use ablations::{
+    a1_capacitance_model, a2_leakage, a3_converter_efficiency, e10_forecast_policy, A1Result,
+    A2Result, A3Result, E10Result,
+};
+pub use claims_arch::{
+    e5_quiescent_by_system, e6_swap_compatibility, e7_energy_awareness, e8_smart_harvester,
+    E5Result, E5Row, E6Result, E6Row, E7Result, E7Row, E8Result, E8Row,
+};
+pub use claims_energy::{
+    e1_multisource_availability, e2_buffer_sizing, e3_mppt_overhead, e4_quiescent_tradeoff,
+    e9_storage_characteristics, E1Result, E1Row, E2Result, E3Point, E3Result, E4Point, E4Result,
+    E9Result, E9Row, SourceSet,
+};
+pub use figures::{fig1_system_a, fig2_system_b, table1, Fig1Day, Fig1Result, Fig2Result};

@@ -1,0 +1,125 @@
+//! The analog sense line: an ADC model for the "Limited" monitoring tier.
+//!
+//! "At their most basic, energy-aware systems may provide an analog line
+//! to allow the microcontroller to monitor the store voltage." That line
+//! ends in an ADC, and the ADC's resolution bounds what a
+//! voltage-threshold policy can distinguish — so the quantization is part
+//! of the architecture, not a detail.
+
+use mseh_units::Volts;
+
+/// A successive-approximation ADC reading the store-voltage divider.
+///
+/// Readings are quantized to `bits` of resolution over `[0, v_ref]` and
+/// clamped at the reference — exactly what a sensor node's built-in ADC
+/// does to the analog sense line.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_core::AdcModel;
+/// use mseh_units::Volts;
+///
+/// let adc = AdcModel::new(10, Volts::new(3.3));
+/// let reading = adc.quantize(Volts::new(2.5));
+/// // Within one LSB (≈3.2 mV at 10 bits / 3.3 V).
+/// assert!((reading.value() - 2.5).abs() <= adc.lsb().value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcModel {
+    bits: u32,
+    v_ref: Volts,
+}
+
+impl AdcModel {
+    /// Creates an ADC model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 24, or `v_ref` is not positive.
+    pub fn new(bits: u32, v_ref: Volts) -> Self {
+        assert!((1..=24).contains(&bits), "bits must be 1–24");
+        assert!(v_ref.value() > 0.0, "reference must be positive");
+        Self { bits, v_ref }
+    }
+
+    /// A typical MCU ADC: 10 bits over a 3.3 V reference.
+    pub fn mcu_10bit() -> Self {
+        Self::new(10, Volts::new(3.3))
+    }
+
+    /// A coarse comparator bank: 4 bits (MPWiNode-class monitoring).
+    pub fn coarse_4bit() -> Self {
+        Self::new(4, Volts::new(3.3))
+    }
+
+    /// The resolution.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// One least-significant bit in volts.
+    pub fn lsb(&self) -> Volts {
+        self.v_ref / (1u64 << self.bits) as f64
+    }
+
+    /// Quantizes a voltage reading (clamped to `[0, v_ref]`).
+    pub fn quantize(&self, v: Volts) -> Volts {
+        let clamped = v.clamp(Volts::ZERO, self.v_ref);
+        let codes = (1u64 << self.bits) as f64;
+        let code = (clamped.value() / self.v_ref.value() * codes)
+            .floor()
+            .min(codes - 1.0);
+        Volts::new(code / codes * self.v_ref.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_error_bounded_by_lsb() {
+        let adc = AdcModel::mcu_10bit();
+        for i in 0..100 {
+            let v = Volts::new(i as f64 * 0.033);
+            let q = adc.quantize(v);
+            assert!(q <= v);
+            assert!((v - q) <= adc.lsb() + Volts::new(1e-12), "{v} -> {q}");
+        }
+    }
+
+    #[test]
+    fn clamps_to_reference() {
+        let adc = AdcModel::mcu_10bit();
+        let over = adc.quantize(Volts::new(5.0));
+        assert!(over < Volts::new(3.3));
+        assert!(over > Volts::new(3.29));
+        assert_eq!(adc.quantize(Volts::new(-1.0)), Volts::ZERO);
+    }
+
+    #[test]
+    fn coarse_adc_blurs_threshold_policies() {
+        // A 4-bit reading cannot distinguish store voltages ~60 mV apart
+        // (LSB ≈ 206 mV) — the structural limit of "Limited" monitoring
+        // on cheap hardware.
+        let adc = AdcModel::coarse_4bit();
+        assert!(adc.lsb().value() > 0.2);
+        assert_eq!(
+            adc.quantize(Volts::new(2.20)),
+            adc.quantize(Volts::new(2.26))
+        );
+        // A 10-bit reading separates them easily.
+        let fine = AdcModel::mcu_10bit();
+        assert_ne!(
+            fine.quantize(Volts::new(2.20)),
+            fine.quantize(Volts::new(2.26))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn rejects_zero_bits() {
+        AdcModel::new(0, Volts::new(3.3));
+    }
+}

@@ -1,0 +1,384 @@
+//! Feature extraction: deriving a Table-I row from a live [`PowerUnit`].
+//!
+//! The survey's Table I is a hand-made categorization. Here the
+//! categorization is *computed* from the platform model, so the table the
+//! benchmarks print is checked against the paper's rows in tests rather
+//! than transcribed.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use mseh_harvesters::HarvesterKind;
+use mseh_node::MonitoringLevel;
+use mseh_storage::StorageKind;
+use mseh_units::Amps;
+
+use crate::power_unit::PowerUnit;
+use crate::taxonomy::{ConditioningPlacement, Exchangeability, IntelligenceLocation};
+
+/// One row of the categorization table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxonomyRecord {
+    /// Platform name.
+    pub name: String,
+    /// Number of harvester inputs (ports).
+    pub n_harvesters: usize,
+    /// Number of storage ports.
+    pub n_stores: usize,
+    /// `Some(n)` when the design offers `n` shared (either-kind) ports.
+    pub shared_ports: Option<usize>,
+    /// Whether the sensor node can be replaced (false when integrated on
+    /// the power unit).
+    pub swappable_sensor_node: bool,
+    /// Number of field-swappable storage ports.
+    pub swappable_storage: usize,
+    /// Number of field-swappable harvester ports.
+    pub swappable_harvesters: usize,
+    /// Monitoring tier granted to the node.
+    pub energy_monitoring: MonitoringLevel,
+    /// Whether a digital interface is provided.
+    pub digital_interface: bool,
+    /// Idle draw referred to the output rail.
+    pub quiescent: Amps,
+    /// Harvester classes currently attached.
+    pub harvester_kinds: Vec<HarvesterKind>,
+    /// Storage classes currently attached.
+    pub storage_kinds: Vec<StorageKind>,
+    /// Where intelligence runs.
+    pub intelligence: IntelligenceLocation,
+    /// Where conditioning lives.
+    pub conditioning: ConditioningPlacement,
+    /// Commercial product flag.
+    pub commercial: bool,
+}
+
+impl TaxonomyRecord {
+    /// The exchangeability level this record implies (axis 2 of the
+    /// taxonomy).
+    pub fn exchangeability(&self) -> Exchangeability {
+        let harv = self.swappable_harvesters > 0;
+        let stor = self.swappable_storage > 0;
+        match (harv, stor) {
+            _ if self.conditioning == ConditioningPlacement::EnergyModules => {
+                Exchangeability::CompletelyFlexible
+            }
+            (true, true) => Exchangeability::SwappableHarvestersAndStorage,
+            (true, false) => Exchangeability::SwappableHarvesters,
+            (false, true) => Exchangeability::SwappableHarvestersAndStorage,
+            (false, false) => Exchangeability::Fixed,
+        }
+    }
+
+    /// Harvesters/stores in Table I's "No. Harvesters/Stores" format
+    /// (`"3/3"`, or `"6 (shared)"` for shared-port designs).
+    pub fn counts_cell(&self) -> String {
+        match self.shared_ports {
+            Some(n) => format!("{n} (shared)"),
+            None => format!("{}/{}", self.n_harvesters, self.n_stores),
+        }
+    }
+
+    /// The harvester-kinds cell, comma-separated in Table-I labels.
+    pub fn harvesters_cell(&self) -> String {
+        let set: BTreeSet<&str> = self
+            .harvester_kinds
+            .iter()
+            .map(|k| k.table_label())
+            .collect();
+        set.into_iter().collect::<Vec<_>>().join(", ")
+    }
+
+    /// The storage-kinds cell.
+    pub fn storage_cell(&self) -> String {
+        let set: BTreeSet<&str> = self.storage_kinds.iter().map(|k| k.table_label()).collect();
+        set.into_iter().collect::<Vec<_>>().join(", ")
+    }
+}
+
+/// Derives the Table-I record for a platform.
+pub fn classify(unit: &PowerUnit) -> TaxonomyRecord {
+    // Device kinds: what is attached, plus what the ports declare they
+    // support (Table I lists supported source types, not only the
+    // demonstration loadout).
+    let mut harvester_kinds: Vec<HarvesterKind> = unit
+        .harvester_ports()
+        .iter()
+        .filter_map(|p| p.channel().map(|c| c.harvester().kind()))
+        .collect();
+    for port in unit.harvester_ports() {
+        if let Some(kinds) = &port.requirement().harvester_kinds {
+            harvester_kinds.extend(kinds.iter().copied());
+        }
+    }
+    harvester_kinds.sort();
+    harvester_kinds.dedup();
+    let mut storage_kinds: Vec<StorageKind> = unit
+        .store_ports()
+        .iter()
+        .filter_map(|p| p.device().map(|d| d.kind()))
+        .collect();
+    for port in unit.store_ports() {
+        if let Some(kinds) = &port.requirement().storage_kinds {
+            storage_kinds.extend(kinds.iter().copied());
+        }
+    }
+    storage_kinds.sort();
+    storage_kinds.dedup();
+    // Refer quiescent power to the regulated output rail (the convention
+    // behind Table I's microamp figures); fall back to 3.0 V for
+    // pass-through outputs.
+    let rail = {
+        let v = unit.output_rail();
+        if v.value() > 0.5 {
+            v
+        } else {
+            mseh_units::Volts::new(3.0)
+        }
+    };
+    TaxonomyRecord {
+        name: unit.name().to_owned(),
+        n_harvesters: unit.harvester_ports().len(),
+        n_stores: unit.store_ports().len(),
+        shared_ports: unit.shared_ports(),
+        swappable_sensor_node: !unit.node_on_power_unit(),
+        swappable_storage: unit
+            .store_ports()
+            .iter()
+            .filter(|p| p.is_swappable())
+            .count(),
+        swappable_harvesters: unit
+            .harvester_ports()
+            .iter()
+            .filter(|p| p.is_swappable())
+            .count(),
+        energy_monitoring: unit.supervisor().monitoring,
+        digital_interface: unit.supervisor().interface.is_digital(),
+        quiescent: unit.quiescent_power() / rail,
+        harvester_kinds,
+        storage_kinds,
+        intelligence: unit.supervisor().location,
+        conditioning: unit.conditioning(),
+        commercial: unit.is_commercial(),
+    }
+}
+
+/// Renders records as the survey's Table I (one column per platform).
+pub fn render_table(records: &[TaxonomyRecord]) -> String {
+    let yes_no = |b: bool| if b { "Yes" } else { "No" };
+    let mut rows: Vec<(String, Vec<String>)> = vec![
+        (
+            "Device".into(),
+            records.iter().map(|r| r.name.clone()).collect(),
+        ),
+        (
+            "No. Harvesters/Stores".into(),
+            records.iter().map(TaxonomyRecord::counts_cell).collect(),
+        ),
+        (
+            "Swappable Sensor Node".into(),
+            records
+                .iter()
+                .map(|r| yes_no(r.swappable_sensor_node).to_owned())
+                .collect(),
+        ),
+        (
+            "Swappable Storage".into(),
+            records
+                .iter()
+                .map(|r| {
+                    if r.swappable_storage == 0 {
+                        "No".to_owned()
+                    } else {
+                        format!("Yes, {}", r.swappable_storage)
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "Swappable Harvesters".into(),
+            records
+                .iter()
+                .map(|r| {
+                    if r.swappable_harvesters == 0 {
+                        "No".to_owned()
+                    } else {
+                        format!("Yes, {}", r.swappable_harvesters)
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "Energy Monitoring".into(),
+            records
+                .iter()
+                .map(|r| r.energy_monitoring.table_label().to_owned())
+                .collect(),
+        ),
+        (
+            "Digital Interface".into(),
+            records
+                .iter()
+                .map(|r| yes_no(r.digital_interface).to_owned())
+                .collect(),
+        ),
+        (
+            "Quiescent Current Draw".into(),
+            records
+                .iter()
+                .map(|r| format!("{:.1} µA", r.quiescent.as_micro()))
+                .collect(),
+        ),
+        (
+            "Harvesters".into(),
+            records
+                .iter()
+                .map(TaxonomyRecord::harvesters_cell)
+                .collect(),
+        ),
+        (
+            "Storage".into(),
+            records.iter().map(TaxonomyRecord::storage_cell).collect(),
+        ),
+        (
+            "Commercial Product".into(),
+            records
+                .iter()
+                .map(|r| yes_no(r.commercial).to_owned())
+                .collect(),
+        ),
+    ];
+
+    // Column widths.
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let col_ws: Vec<usize> = (0..records.len())
+        .map(|i| {
+            rows.iter()
+                .map(|(_, cells)| cells[i].len())
+                .max()
+                .unwrap_or(0)
+                .max(8)
+        })
+        .collect();
+
+    let mut out = String::new();
+    for (label, cells) in rows.drain(..) {
+        let _ = write!(out, "{label:label_w$}");
+        for (cell, w) in cells.iter().zip(&col_ws) {
+            let _ = write!(out, " | {cell:w$}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::PortRequirement;
+    use crate::power_unit::{StoreRole, Supervisor};
+    use crate::taxonomy::InterfaceKind;
+    use mseh_power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
+    use mseh_storage::Supercap;
+    use mseh_units::{Volts, Watts};
+
+    fn build_demo() -> PowerUnit {
+        let channel = InputChannel::new(
+            Box::new(mseh_harvesters::PvModule::outdoor_panel_half_watt()),
+            Box::new(FractionalVoc::pv_standard()),
+            Box::new(IdealDiode::nanopower()),
+            Box::new(DcDcConverter::mppt_front_end_5v()),
+        );
+        PowerUnit::builder("Demo")
+            .harvester_port(
+                PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+                Some(channel),
+                true,
+            )
+            .harvester_port(
+                PortRequirement::any_in_window("spare", Volts::ZERO, Volts::new(7.0)),
+                None,
+                true,
+            )
+            .store_port(
+                PortRequirement::any_in_window("buf", Volts::ZERO, Volts::new(3.0)),
+                Some(Box::new(Supercap::edlc_22f())),
+                StoreRole::PrimaryBuffer,
+                false,
+            )
+            .supervisor(Supervisor {
+                location: IntelligenceLocation::PowerUnit,
+                monitoring: MonitoringLevel::Full,
+                interface: InterfaceKind::Digital { two_way: true },
+                overhead: Watts::from_micro(15.0),
+            })
+            .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+            .commercial(false)
+            .build()
+    }
+
+    #[test]
+    fn record_reflects_structure() {
+        let unit = build_demo();
+        let r = classify(&unit);
+        assert_eq!(r.n_harvesters, 2);
+        assert_eq!(r.n_stores, 1);
+        assert_eq!(r.swappable_harvesters, 2);
+        assert_eq!(r.swappable_storage, 0);
+        assert!(r.swappable_sensor_node);
+        assert!(r.digital_interface);
+        assert_eq!(r.energy_monitoring, MonitoringLevel::Full);
+        assert_eq!(r.harvester_kinds, vec![HarvesterKind::Photovoltaic]);
+        assert_eq!(r.storage_kinds, vec![StorageKind::Supercapacitor]);
+        assert_eq!(r.counts_cell(), "2/1");
+        assert!(r.quiescent.as_micro() > 1.0);
+        assert!(!r.commercial);
+    }
+
+    #[test]
+    fn exchangeability_derivation() {
+        let unit = build_demo();
+        let mut r = classify(&unit);
+        assert_eq!(r.exchangeability(), Exchangeability::SwappableHarvesters);
+        r.swappable_storage = 1;
+        assert_eq!(
+            r.exchangeability(),
+            Exchangeability::SwappableHarvestersAndStorage
+        );
+        r.conditioning = ConditioningPlacement::EnergyModules;
+        assert_eq!(r.exchangeability(), Exchangeability::CompletelyFlexible);
+        r.conditioning = ConditioningPlacement::PowerUnit;
+        r.swappable_storage = 0;
+        r.swappable_harvesters = 0;
+        assert_eq!(r.exchangeability(), Exchangeability::Fixed);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let unit = build_demo();
+        let table = render_table(&[classify(&unit)]);
+        for needle in [
+            "Device",
+            "No. Harvesters/Stores",
+            "Swappable Sensor Node",
+            "Swappable Storage",
+            "Swappable Harvesters",
+            "Energy Monitoring",
+            "Digital Interface",
+            "Quiescent Current Draw",
+            "Harvesters",
+            "Storage",
+            "Commercial Product",
+        ] {
+            assert!(table.contains(needle), "missing row {needle}\n{table}");
+        }
+        assert!(table.contains("2/1"));
+        assert!(table.contains("µA"));
+    }
+
+    #[test]
+    fn shared_ports_render_specially() {
+        let mut r = classify(&build_demo());
+        r.shared_ports = Some(6);
+        assert_eq!(r.counts_cell(), "6 (shared)");
+    }
+}

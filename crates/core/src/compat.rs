@@ -1,0 +1,263 @@
+//! Attachment-compatibility checking.
+//!
+//! "It is important to ensure that the alternative EH device has similar
+//! characteristics to the original, and that it does not violate the
+//! requirements of the input power conditioning circuitry." Ports declare
+//! their electrical requirements; attaching a device checks them. System
+//! B's universal ports accept anything that arrives behind a conforming
+//! interface circuit — which is exactly how the survey says it escapes
+//! this restriction.
+
+use core::fmt;
+
+use mseh_harvesters::HarvesterKind;
+use mseh_storage::StorageKind;
+use mseh_units::Volts;
+
+/// What one physical port of a power unit will accept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortRequirement {
+    /// Port label (e.g. `"PV input"`, `"CH2 4.06–20 V"`).
+    pub label: String,
+    /// Minimum open-circuit voltage the input conditioning handles.
+    pub v_min: Volts,
+    /// Maximum open-circuit voltage before damage/lockout.
+    pub v_max: Volts,
+    /// Harvester kinds the conditioning is designed for (`None` = any
+    /// kind within the voltage window).
+    pub harvester_kinds: Option<Vec<HarvesterKind>>,
+    /// Storage kinds the charger supports (`None` = any).
+    pub storage_kinds: Option<Vec<StorageKind>>,
+}
+
+impl PortRequirement {
+    /// A port accepting any device whose voltage fits the window.
+    pub fn any_in_window(label: impl Into<String>, v_min: Volts, v_max: Volts) -> Self {
+        Self {
+            label: label.into(),
+            v_min,
+            v_max,
+            harvester_kinds: None,
+            storage_kinds: None,
+        }
+    }
+
+    /// A harvester port restricted to specific kinds.
+    pub fn harvester_port(
+        label: impl Into<String>,
+        v_min: Volts,
+        v_max: Volts,
+        kinds: Vec<HarvesterKind>,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            v_min,
+            v_max,
+            harvester_kinds: Some(kinds),
+            storage_kinds: Some(Vec::new()), // storage not accepted here
+        }
+    }
+
+    /// A storage port restricted to specific chemistries.
+    pub fn storage_port(
+        label: impl Into<String>,
+        v_min: Volts,
+        v_max: Volts,
+        kinds: Vec<StorageKind>,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            v_min,
+            v_max,
+            harvester_kinds: Some(Vec::new()),
+            storage_kinds: Some(kinds),
+        }
+    }
+
+    /// Checks a harvester against this port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompatError`] naming the violated requirement.
+    pub fn check_harvester(&self, kind: HarvesterKind, voc: Volts) -> Result<(), CompatError> {
+        if let Some(kinds) = &self.harvester_kinds {
+            if !kinds.contains(&kind) {
+                return Err(CompatError::KindNotSupported {
+                    port: self.label.clone(),
+                    offered: kind.table_label(),
+                });
+            }
+        }
+        self.check_voltage(voc)
+    }
+
+    /// Checks a storage device against this port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompatError`] naming the violated requirement.
+    pub fn check_storage(&self, kind: StorageKind, v_max: Volts) -> Result<(), CompatError> {
+        if let Some(kinds) = &self.storage_kinds {
+            if !kinds.contains(&kind) {
+                return Err(CompatError::KindNotSupported {
+                    port: self.label.clone(),
+                    offered: kind.table_label(),
+                });
+            }
+        }
+        self.check_voltage(v_max)
+    }
+
+    fn check_voltage(&self, v: Volts) -> Result<(), CompatError> {
+        if v < self.v_min || v > self.v_max {
+            return Err(CompatError::VoltageOutOfWindow {
+                port: self.label.clone(),
+                offered: v,
+                window: (self.v_min, self.v_max),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a device cannot be attached to a port.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompatError {
+    /// The port's conditioning is not designed for this device kind.
+    KindNotSupported {
+        /// The refusing port.
+        port: String,
+        /// The offered device's kind label.
+        offered: &'static str,
+    },
+    /// The device's voltage violates the port's input window.
+    VoltageOutOfWindow {
+        /// The refusing port.
+        port: String,
+        /// The offered device's voltage.
+        offered: Volts,
+        /// The accepted window.
+        window: (Volts, Volts),
+    },
+    /// The port is already occupied.
+    PortOccupied {
+        /// The refusing port.
+        port: String,
+    },
+    /// No such port exists on the unit.
+    NoSuchPort {
+        /// The requested index.
+        index: usize,
+    },
+    /// The module lacks the interface circuit this unit mandates.
+    MissingInterfaceCircuit,
+}
+
+impl fmt::Display for CompatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompatError::KindNotSupported { port, offered } => {
+                write!(f, "port {port:?} does not support {offered} devices")
+            }
+            CompatError::VoltageOutOfWindow {
+                port,
+                offered,
+                window,
+            } => write!(
+                f,
+                "port {port:?} requires {}..{} but the device presents {offered}",
+                window.0, window.1
+            ),
+            CompatError::PortOccupied { port } => write!(f, "port {port:?} is occupied"),
+            CompatError::NoSuchPort { index } => write!(f, "no port with index {index}"),
+            CompatError::MissingInterfaceCircuit => {
+                f.write_str("module lacks the mandatory interface circuit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// System F's documented restriction: "certain inputs must be below
+    /// 4.06 V, while others must be between 4.06 V and 20 V."
+    #[test]
+    fn system_f_style_windows() {
+        let low = PortRequirement::any_in_window("CH1 <4.06 V", Volts::ZERO, Volts::new(4.06));
+        let high =
+            PortRequirement::any_in_window("CH2 4.06–20 V", Volts::new(4.06), Volts::new(20.0));
+        assert!(low
+            .check_harvester(HarvesterKind::Thermoelectric, Volts::new(1.0))
+            .is_ok());
+        assert!(low
+            .check_harvester(HarvesterKind::ExternalAcDc, Volts::new(12.0))
+            .is_err());
+        assert!(high
+            .check_harvester(HarvesterKind::ExternalAcDc, Volts::new(12.0))
+            .is_ok());
+        assert!(high
+            .check_harvester(HarvesterKind::Thermoelectric, Volts::new(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn kind_restrictions() {
+        let pv_only = PortRequirement::harvester_port(
+            "PV input",
+            Volts::new(0.5),
+            Volts::new(7.0),
+            vec![HarvesterKind::Photovoltaic],
+        );
+        assert!(pv_only
+            .check_harvester(HarvesterKind::Photovoltaic, Volts::new(6.0))
+            .is_ok());
+        let err = pv_only
+            .check_harvester(HarvesterKind::WindTurbine, Volts::new(6.0))
+            .unwrap_err();
+        assert!(err.to_string().contains("does not support Wind"));
+        // A harvester port refuses storage outright.
+        assert!(pv_only
+            .check_storage(StorageKind::Supercapacitor, Volts::new(2.7))
+            .is_err());
+    }
+
+    #[test]
+    fn storage_port_checks_chemistry_and_voltage() {
+        let batt_port = PortRequirement::storage_port(
+            "battery",
+            Volts::new(2.0),
+            Volts::new(4.3),
+            vec![StorageKind::LiIon, StorageKind::NiMh],
+        );
+        assert!(batt_port
+            .check_storage(StorageKind::LiIon, Volts::new(4.2))
+            .is_ok());
+        assert!(batt_port
+            .check_storage(StorageKind::Supercapacitor, Volts::new(2.7))
+            .is_err());
+        let err = batt_port
+            .check_storage(StorageKind::LiIon, Volts::new(5.5))
+            .unwrap_err();
+        assert!(matches!(err, CompatError::VoltageOutOfWindow { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = CompatError::VoltageOutOfWindow {
+            port: "CH1".into(),
+            offered: Volts::new(6.0),
+            window: (Volts::ZERO, Volts::new(4.06)),
+        };
+        let s = err.to_string();
+        assert!(s.contains("CH1"), "{s}");
+        assert!(s.contains("6.000 V"), "{s}");
+        assert_eq!(
+            CompatError::MissingInterfaceCircuit.to_string(),
+            "module lacks the mandatory interface circuit"
+        );
+    }
+}

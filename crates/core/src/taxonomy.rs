@@ -1,0 +1,163 @@
+//! The survey's design taxonomy as types.
+//!
+//! Section II of the paper organizes multi-source harvesting systems along
+//! four axes: power-conditioning functionality, exchangeable hardware,
+//! energy monitoring/control capability, and the location of
+//! interfacing/energy awareness. Each axis is an enum here, so a platform's
+//! position in the design space is a value that can be computed, compared
+//! and printed as a Table-I row.
+
+use core::fmt;
+
+/// Axis 1 — where power-conditioning circuits live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConditioningPlacement {
+    /// On the power unit (all surveyed systems except B).
+    PowerUnit,
+    /// On each energy module (System B: "a power conditioning board for
+    /// each energy harvester/storage device").
+    EnergyModules,
+}
+
+impl fmt::Display for ConditioningPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConditioningPlacement::PowerUnit => "on power unit",
+            ConditioningPlacement::EnergyModules => "on energy modules",
+        })
+    }
+}
+
+/// Axis 2 — which energy devices can be exchanged after deployment.
+///
+/// The survey's three levels of functionality, plus `Fixed` for systems
+/// with soldered-down energy hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Exchangeability {
+    /// Energy devices are soldered to the board (early single-source
+    /// systems like Prometheus).
+    Fixed,
+    /// "The most basic systems allow energy harvesters to be exchanged,
+    /// but options are limited by the input power conditioning."
+    SwappableHarvesters,
+    /// "More complex systems allow the harvesters and energy storage
+    /// devices to be exchanged, with similar constraints."
+    SwappableHarvestersAndStorage,
+    /// "The most flexible system architecture permits the harvesters and
+    /// energy storage devices to be exchanged, but each device has to have
+    /// its own interface circuitry."
+    CompletelyFlexible,
+}
+
+impl fmt::Display for Exchangeability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Exchangeability::Fixed => "fixed energy devices",
+            Exchangeability::SwappableHarvesters => "swappable harvesters",
+            Exchangeability::SwappableHarvestersAndStorage => "swappable harvesters and storage",
+            Exchangeability::CompletelyFlexible => "completely flexible",
+        })
+    }
+}
+
+/// Axis 3 — how the embedded device communicates with the energy hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterfaceKind {
+    /// No energy interface at all.
+    None,
+    /// An analog sense line (store voltage divider to an ADC pin).
+    Analog,
+    /// A digital protocol (System A's I²C, System B's module bus).
+    Digital {
+        /// Whether the device can also *control* the power unit
+        /// (two-way), e.g. adjust its supply voltage or move energy
+        /// between stores.
+        two_way: bool,
+    },
+}
+
+impl InterfaceKind {
+    /// Whether the interface is digital (Table I's "Digital Interface"
+    /// row).
+    pub fn is_digital(self) -> bool {
+        matches!(self, InterfaceKind::Digital { .. })
+    }
+}
+
+impl fmt::Display for InterfaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterfaceKind::None => f.write_str("none"),
+            InterfaceKind::Analog => f.write_str("analog"),
+            InterfaceKind::Digital { two_way: true } => f.write_str("digital (two-way)"),
+            InterfaceKind::Digital { two_way: false } => f.write_str("digital (read-only)"),
+        }
+    }
+}
+
+/// Axis 4 — where the energy-awareness "intelligence" runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntelligenceLocation {
+    /// No intelligence on board at all (Systems C, D, E, G in the
+    /// survey's reading).
+    None,
+    /// On the embedded device's own microcontroller (System B).
+    EmbeddedDevice,
+    /// On a dedicated microcontroller on the power unit (Systems A, F).
+    PowerUnit,
+    /// Devolved to the energy devices themselves — the survey's proposed
+    /// "smart harvester" scheme.
+    EnergyDevices,
+}
+
+impl fmt::Display for IntelligenceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IntelligenceLocation::None => "none",
+            IntelligenceLocation::EmbeddedDevice => "on embedded device",
+            IntelligenceLocation::PowerUnit => "on power unit",
+            IntelligenceLocation::EnergyDevices => "on energy devices",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchangeability_is_ordered_by_flexibility() {
+        assert!(Exchangeability::Fixed < Exchangeability::SwappableHarvesters);
+        assert!(
+            Exchangeability::SwappableHarvestersAndStorage < Exchangeability::CompletelyFlexible
+        );
+    }
+
+    #[test]
+    fn digital_detection() {
+        assert!(!InterfaceKind::None.is_digital());
+        assert!(!InterfaceKind::Analog.is_digital());
+        assert!(InterfaceKind::Digital { two_way: false }.is_digital());
+        assert!(InterfaceKind::Digital { two_way: true }.is_digital());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(
+            ConditioningPlacement::EnergyModules.to_string(),
+            "on energy modules"
+        );
+        assert_eq!(
+            Exchangeability::CompletelyFlexible.to_string(),
+            "completely flexible"
+        );
+        assert_eq!(
+            InterfaceKind::Digital { two_way: true }.to_string(),
+            "digital (two-way)"
+        );
+        assert_eq!(
+            IntelligenceLocation::EnergyDevices.to_string(),
+            "on energy devices"
+        );
+    }
+}

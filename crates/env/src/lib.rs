@@ -1,0 +1,63 @@
+//! Deterministic environment models for energy-harvesting simulation.
+//!
+//! Energy availability is "a temporal as well as spatial effect" — the
+//! observation that motivates multi-source harvesting in Weddell et al.'s
+//! DATE 2013 survey. This crate supplies that temporal structure: seeded,
+//! random-access stochastic models of every ambient energy channel the
+//! surveyed systems exploit:
+//!
+//! * [`SolarModel`] — diurnal irradiance with a cloud-cover process
+//! * [`WindModel`] — Weibull weather levels with gust turbulence
+//! * [`IndoorLightModel`] — office/factory lighting schedules
+//! * [`AmbientModel`] / [`GradientSource`] — temperatures and TEG gradients
+//! * [`VibrationModel`] — machinery excitation for piezo harvesters
+//! * [`RfModel`] — ambient floor plus dedicated-transmitter bursts
+//! * [`WaterFlowModel`] — irrigation/stream flow (the MPWiNode scenario)
+//!
+//! An [`Environment`] composes the channels into one sampler producing
+//! [`EnvConditions`] snapshots; presets mirror the deployments the survey
+//! discusses (outdoor for System A, indoor industrial for System B,
+//! agricultural for System D).
+//!
+//! All randomness is counter-based ([`rng::Noise`]): a trace is a pure
+//! function of `(seed, time)`, reproducible and random-access.
+//!
+//! # Examples
+//!
+//! ```
+//! use mseh_env::Environment;
+//! use mseh_units::Seconds;
+//!
+//! let env = Environment::indoor_industrial(42);
+//! let c = env.conditions(Seconds::from_hours(10.0));
+//! // Mid-shift: lights on, the motor runs, the steam pipe is hot.
+//! assert!(c.illuminance.value() > 100.0);
+//! assert!(c.vibration_amp.value() > 0.0);
+//! assert!(c.thermal_gradient().value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conditions;
+mod indoor;
+mod replay;
+mod rf;
+pub mod rng;
+mod scenario;
+mod solar;
+mod thermal;
+mod trace;
+mod water;
+mod wind;
+
+pub use conditions::EnvConditions;
+pub use indoor::{IndoorLightModel, VibrationModel};
+pub use replay::{EnvSampler, ReplayEnvironment};
+pub use rf::RfModel;
+pub use scenario::{Environment, EnvironmentBuilder};
+pub use solar::{SeasonalSolarModel, SolarModel};
+pub use thermal::{AmbientModel, GradientSource};
+pub use trace::{ParseTraceError, Trace};
+pub use water::WaterFlowModel;
+pub use wind::WindModel;

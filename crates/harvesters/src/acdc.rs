@@ -1,0 +1,126 @@
+//! Generic external AC/DC input — System G's "General AC/DC > 5 V" source.
+//!
+//! EH-Link (System G of the survey) accepts any external AC or DC supply
+//! above 5 V as an energy input. The model is a fixed rectified source with
+//! a presence flag: unlike the ambient channels it does not depend on the
+//! environment, which is precisely its role — a deterministic auxiliary
+//! input for commissioning and testing.
+
+use crate::kind::HarvesterKind;
+use crate::thevenin::Thevenin;
+use crate::transducer::Transducer;
+use mseh_env::EnvConditions;
+use mseh_units::{Amps, Ohms, Volts};
+
+/// A generic external AC/DC input.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_harvesters::{AcDcInput, Transducer};
+/// use mseh_env::EnvConditions;
+/// use mseh_units::Seconds;
+///
+/// let input = AcDcInput::bench_supply_12v();
+/// let env = EnvConditions::quiescent(Seconds::ZERO);
+/// assert!(input.open_circuit_voltage(&env).value() > 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcDcInput {
+    name: String,
+    source: Thevenin,
+    present: bool,
+}
+
+impl AcDcInput {
+    /// Creates an external input with the given rectified open-circuit
+    /// voltage and source resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` is not above the 5 V floor EH-Link specifies, or
+    /// if `r_int` is non-positive.
+    pub fn new(name: impl Into<String>, voltage: Volts, r_int: Ohms) -> Self {
+        assert!(
+            voltage.value() > 5.0,
+            "general AC/DC inputs must exceed 5 V (EH-Link input window)"
+        );
+        Self {
+            name: name.into(),
+            source: Thevenin::new(voltage, r_int),
+            present: true,
+        }
+    }
+
+    /// A 12 V bench supply behind 50 Ω.
+    pub fn bench_supply_12v() -> Self {
+        Self::new("12 V bench supply", Volts::new(12.0), Ohms::new(50.0))
+    }
+
+    /// Sets whether the external supply is currently connected.
+    pub fn set_present(&mut self, present: bool) {
+        self.present = present;
+    }
+
+    /// Whether the external supply is connected.
+    pub fn is_present(&self) -> bool {
+        self.present
+    }
+}
+
+impl Transducer for AcDcInput {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> HarvesterKind {
+        HarvesterKind::ExternalAcDc
+    }
+
+    fn current_at(&self, v: Volts, _env: &EnvConditions) -> Amps {
+        if self.present {
+            self.source.current_at(v)
+        } else {
+            Amps::ZERO
+        }
+    }
+
+    fn open_circuit_voltage(&self, _env: &EnvConditions) -> Volts {
+        if self.present {
+            self.source.voc
+        } else {
+            Volts::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mseh_units::Seconds;
+
+    #[test]
+    fn supplies_power_when_present() {
+        let input = AcDcInput::bench_supply_12v();
+        let env = EnvConditions::quiescent(Seconds::ZERO);
+        let mpp = input.mpp(&env);
+        assert!((mpp.voltage.value() - 6.0).abs() < 1e-6);
+        assert!((mpp.power().value() - 12.0 * 12.0 / (4.0 * 50.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disconnecting_kills_output() {
+        let mut input = AcDcInput::bench_supply_12v();
+        input.set_present(false);
+        assert!(!input.is_present());
+        let env = EnvConditions::quiescent(Seconds::ZERO);
+        assert_eq!(input.open_circuit_voltage(&env), Volts::ZERO);
+        assert_eq!(input.short_circuit_current(&env), Amps::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 5 V")]
+    fn rejects_below_five_volts() {
+        AcDcInput::new("bad", Volts::new(3.3), Ohms::new(10.0));
+    }
+}

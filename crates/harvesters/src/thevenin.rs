@@ -1,0 +1,96 @@
+//! A shared Thevenin-equivalent source: the post-rectification model used
+//! by the wind, hydro, TEG, piezo and electromagnetic harvesters.
+
+use mseh_units::{Amps, Ohms, Volts, Watts};
+
+/// An instantaneous Thevenin equivalent: open-circuit voltage behind an
+/// internal resistance.
+///
+/// Maximum power transfer happens at `Voc/2` with `P = Voc²/4R` — the
+/// analytic MPP against which the numeric search is property-tested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thevenin {
+    /// Open-circuit voltage.
+    pub voc: Volts,
+    /// Internal (source) resistance.
+    pub r_int: Ohms,
+}
+
+impl Thevenin {
+    /// Creates a source from its open-circuit voltage and internal
+    /// resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_int` is not strictly positive.
+    pub fn new(voc: Volts, r_int: Ohms) -> Self {
+        assert!(r_int.value() > 0.0, "internal resistance must be positive");
+        Self { voc, r_int }
+    }
+
+    /// A dead source (0 V behind 1 Ω).
+    pub fn dead() -> Self {
+        Self {
+            voc: Volts::ZERO,
+            r_int: Ohms::new(1.0),
+        }
+    }
+
+    /// Current sourced into a terminal at `v` (non-negative: an external
+    /// voltage above `voc` is blocked, as by the rectifier/ideal diode the
+    /// survey's input-conditioning stage requires).
+    pub fn current_at(self, v: Volts) -> Amps {
+        ((self.voc - v) / self.r_int).max(Amps::ZERO)
+    }
+
+    /// The analytic maximum extractable power, `Voc² / 4R`.
+    pub fn max_power(self) -> Watts {
+        Watts::new(self.voc.value() * self.voc.value() / (4.0 * self.r_int.value()))
+    }
+
+    /// Constructs the Thevenin source that delivers `p_max` at matched load
+    /// with internal resistance `r_int`: `Voc = 2·√(P·R)`.
+    pub fn from_max_power(p_max: Watts, r_int: Ohms) -> Self {
+        let p = p_max.value().max(0.0);
+        Self::new(Volts::new(2.0 * (p * r_int.value()).sqrt()), r_int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_blocks_reverse_flow() {
+        let s = Thevenin::new(Volts::new(3.0), Ohms::new(10.0));
+        assert_eq!(s.current_at(Volts::new(0.0)).value(), 0.3);
+        assert_eq!(s.current_at(Volts::new(3.0)).value(), 0.0);
+        assert_eq!(s.current_at(Volts::new(5.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn max_power_at_half_voc() {
+        let s = Thevenin::new(Volts::new(4.0), Ohms::new(8.0));
+        let at_half = Volts::new(2.0) * s.current_at(Volts::new(2.0));
+        assert!((at_half - s.max_power()).abs().value() < 1e-12);
+        assert_eq!(s.max_power().value(), 0.5);
+    }
+
+    #[test]
+    fn from_max_power_roundtrip() {
+        let s = Thevenin::from_max_power(Watts::from_milli(50.0), Ohms::new(100.0));
+        assert!((s.max_power().as_milli() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_negative_power_is_dead() {
+        let s = Thevenin::from_max_power(Watts::new(-1.0), Ohms::new(10.0));
+        assert_eq!(s.voc, Volts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_rejected() {
+        Thevenin::new(Volts::new(1.0), Ohms::ZERO);
+    }
+}

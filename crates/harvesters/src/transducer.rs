@@ -1,0 +1,183 @@
+//! The [`Transducer`] trait: a harvester seen as a voltage-dependent
+//! current source, with derived operating-point analysis.
+
+use crate::kind::HarvesterKind;
+use mseh_env::EnvConditions;
+use mseh_units::{Amps, Volts, Watts};
+
+/// An electrical operating point of a source.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperatingPoint {
+    /// Terminal voltage.
+    pub voltage: Volts,
+    /// Delivered current.
+    pub current: Amps,
+}
+
+impl OperatingPoint {
+    /// The power delivered at this point.
+    pub fn power(&self) -> Watts {
+        self.voltage * self.current
+    }
+}
+
+/// A harvesting transducer modelled as a static I–V characteristic that
+/// depends on the ambient conditions.
+///
+/// The survey's power-conditioning trade-offs (MPPT benefit, fixed-point
+/// compromise, source/converter matching) are all functions of this curve's
+/// shape, which is why the trait is the substrate every higher layer builds
+/// on. Implementations must guarantee:
+///
+/// * `current_at` is non-negative and non-increasing in `v` over
+///   `[0, open_circuit_voltage]` (a passive source can't gain current from
+///   a rising terminal voltage), and zero at or beyond the open-circuit
+///   voltage;
+/// * all outputs are finite.
+///
+/// The trait is object-safe; platforms store harvesters as
+/// `Box<dyn Transducer>`.
+pub trait Transducer: Send + Sync {
+    /// Human-readable model name (e.g. `"0.5 W polycrystalline panel"`).
+    fn name(&self) -> &str;
+
+    /// The source class this harvester transduces.
+    fn kind(&self) -> HarvesterKind;
+
+    /// The DC-side current the harvester sources into a terminal held at
+    /// `v`, under `env`. AC harvesters report their post-rectification
+    /// characteristic.
+    fn current_at(&self, v: Volts, env: &EnvConditions) -> Amps;
+
+    /// The open-circuit voltage under `env` (the voltage at which
+    /// `current_at` reaches zero).
+    fn open_circuit_voltage(&self, env: &EnvConditions) -> Volts;
+
+    /// Short-circuit current under `env`.
+    fn short_circuit_current(&self, env: &EnvConditions) -> Amps {
+        self.current_at(Volts::ZERO, env)
+    }
+
+    /// Power delivered at terminal voltage `v`.
+    fn power_at(&self, v: Volts, env: &EnvConditions) -> Watts {
+        v * self.current_at(v, env)
+    }
+
+    /// The maximum-power point under `env`, found by golden-section search
+    /// over `[0, Voc]`.
+    ///
+    /// For a concave power curve this converges to the true MPP; for the
+    /// piecewise curves used here it lands within the numeric tolerance
+    /// (≈1 µV). Returns a zero point when the source is dead.
+    fn mpp(&self, env: &EnvConditions) -> OperatingPoint {
+        let voc = self.open_circuit_voltage(env);
+        if voc <= Volts::ZERO {
+            return OperatingPoint::default();
+        }
+        let v = golden_section_max(
+            |v| self.power_at(Volts::new(v), env).value(),
+            0.0,
+            voc.value(),
+        );
+        let v = Volts::new(v);
+        OperatingPoint {
+            voltage: v,
+            current: self.current_at(v, env),
+        }
+    }
+}
+
+/// Maximizes a unimodal function on `[lo, hi]` by golden-section search.
+pub(crate) fn golden_section_max(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    // 80 iterations shrink the bracket by φ⁻⁸⁰ ≈ 2e-17 — machine precision.
+    for _ in 0..80 {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+        if (b - a).abs() < 1e-9 {
+            break;
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mseh_units::Seconds;
+
+    /// A Thevenin test source: Voc = 2 V, R = 10 Ω ⇒ MPP at 1 V, 100 mW.
+    struct TestSource;
+
+    impl Transducer for TestSource {
+        fn name(&self) -> &str {
+            "test thevenin"
+        }
+        fn kind(&self) -> HarvesterKind {
+            HarvesterKind::Thermoelectric
+        }
+        fn current_at(&self, v: Volts, _env: &EnvConditions) -> Amps {
+            Amps::new(((2.0 - v.value()) / 10.0).max(0.0))
+        }
+        fn open_circuit_voltage(&self, _env: &EnvConditions) -> Volts {
+            Volts::new(2.0)
+        }
+    }
+
+    fn env() -> EnvConditions {
+        EnvConditions::quiescent(Seconds::ZERO)
+    }
+
+    #[test]
+    fn operating_point_power() {
+        let op = OperatingPoint {
+            voltage: Volts::new(2.0),
+            current: Amps::from_milli(30.0),
+        };
+        assert!((op.power().as_milli() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_methods_follow_curve() {
+        let s = TestSource;
+        assert_eq!(s.short_circuit_current(&env()).value(), 0.2);
+        assert_eq!(s.power_at(Volts::new(1.0), &env()).value(), 0.1);
+        assert_eq!(s.power_at(Volts::new(2.0), &env()).value(), 0.0);
+    }
+
+    #[test]
+    fn mpp_matches_thevenin_analytic() {
+        let s = TestSource;
+        let mpp = s.mpp(&env());
+        assert!((mpp.voltage.value() - 1.0).abs() < 1e-6, "{:?}", mpp);
+        assert!((mpp.power().value() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_peak() {
+        let peak = golden_section_max(|x| -(x - 3.2) * (x - 3.2), 0.0, 10.0);
+        assert!((peak - 3.2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Transducer> = Box::new(TestSource);
+        assert_eq!(boxed.kind(), HarvesterKind::Thermoelectric);
+        assert_eq!(boxed.name(), "test thevenin");
+    }
+}

@@ -1,0 +1,46 @@
+//! Embedded-device load models: duty-cycled wireless sensor nodes and the
+//! energy-aware policies that drive them.
+//!
+//! Every platform the survey classifies exists to power a wireless sensor
+//! node; what differs is how much the node can *see* of its energy
+//! hardware and therefore how well it can adapt. This crate models:
+//!
+//! * [`SensorNode`] — sleep floor + per-cycle burst energy, in the
+//!   mW class (System A) and sub-mW class (System B);
+//! * [`MonitoringLevel`] / [`EnergyStatus`] — the monitoring tiers of
+//!   Table I (none / store voltage only / full), as typed visibility;
+//! * [`DutyCyclePolicy`] — [`FixedDuty`], the [`VoltageThreshold`] ladder
+//!   (System D's capability), the [`EnergyNeutral`] controller
+//!   (Systems A/B capability), and the [`DayProfileForecast`] extension
+//!   that learns the deployment's diurnal profile.
+//!
+//! # Examples
+//!
+//! ```
+//! use mseh_node::{SensorNode, EnergyNeutral, DutyCyclePolicy, EnergyStatus};
+//! use mseh_units::{Volts, Ratio, Joules, Watts};
+//!
+//! let node = SensorNode::submilliwatt_class();
+//! let mut policy = EnergyNeutral::new();
+//! let status = EnergyStatus::full(
+//!     Volts::new(2.6),
+//!     Ratio::new(0.7),
+//!     Joules::new(45.0),
+//!     Watts::from_micro(300.0),
+//! );
+//! let duty = policy.choose(&node, &status);
+//! assert!(duty.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod forecast;
+mod node;
+mod policy;
+mod status;
+
+pub use forecast::DayProfileForecast;
+pub use node::{NodeDemand, SensorNode};
+pub use policy::{DutyCyclePolicy, EnergyNeutral, FixedDuty, VoltageThreshold};
+pub use status::{EnergyStatus, MonitoringLevel};

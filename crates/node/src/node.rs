@@ -1,0 +1,226 @@
+//! The wireless-sensor-node load model.
+
+use mseh_units::{DutyCycle, Joules, Seconds, Volts, Watts};
+
+/// A duty-cycled wireless sensor node: the embedded device every surveyed
+/// platform powers.
+///
+/// The model is a two-level load: a standing sleep floor plus an active
+/// component proportional to the duty cycle. At duty `d`, the node runs
+/// `d × max_sample_rate` measure-and-transmit cycles per hour, each
+/// costing `cycle_energy`.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_node::SensorNode;
+/// use mseh_units::DutyCycle;
+///
+/// let node = SensorNode::milliwatt_class();
+/// let low = node.average_power(DutyCycle::new(0.01).unwrap());
+/// let high = node.average_power(DutyCycle::new(0.5).unwrap());
+/// assert!(high.value() > low.value());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorNode {
+    name: String,
+    /// Standing draw while asleep.
+    sleep_power: Watts,
+    /// Energy of one sense + transmit cycle.
+    cycle_energy: Joules,
+    /// Cycles per hour at duty 1.0.
+    max_cycles_per_hour: f64,
+    /// Supply rail the node requires.
+    supply: Volts,
+    /// Below this rail the node browns out.
+    brownout: Volts,
+}
+
+impl SensorNode {
+    /// Creates a node model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any power/energy parameter is non-positive or the
+    /// brownout threshold is not below the supply rail.
+    pub fn new(
+        name: impl Into<String>,
+        sleep_power: Watts,
+        cycle_energy: Joules,
+        max_cycles_per_hour: f64,
+        supply: Volts,
+        brownout: Volts,
+    ) -> Self {
+        assert!(sleep_power.value() > 0.0, "sleep power must be positive");
+        assert!(cycle_energy.value() > 0.0, "cycle energy must be positive");
+        assert!(max_cycles_per_hour > 0.0, "cycle rate must be positive");
+        assert!(
+            brownout.value() > 0.0 && brownout < supply,
+            "brownout must be positive and below the supply rail"
+        );
+        Self {
+            name: name.into(),
+            sleep_power,
+            cycle_energy,
+            max_cycles_per_hour,
+            supply,
+            brownout,
+        }
+    }
+
+    /// System A's node class: mW-scale. 12 µW sleep, 45 mJ per cycle
+    /// (sensor + radio burst), up to 720 cycles/hour (one per 5 s),
+    /// 3.3 V rail.
+    pub fn milliwatt_class() -> Self {
+        Self::new(
+            "mW-class sensor node",
+            Watts::from_micro(12.0),
+            Joules::new(0.045),
+            720.0,
+            Volts::new(3.3),
+            Volts::new(2.8),
+        )
+    }
+
+    /// System B's node class: sub-mW. 2 µW sleep, 8 mJ per cycle, up to
+    /// 360 cycles/hour, 3.0 V rail.
+    pub fn submilliwatt_class() -> Self {
+        Self::new(
+            "sub-mW sensor node",
+            Watts::from_micro(2.0),
+            Joules::new(0.008),
+            360.0,
+            Volts::new(3.0),
+            Volts::new(2.5),
+        )
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The required supply rail.
+    pub fn supply_voltage(&self) -> Volts {
+        self.supply
+    }
+
+    /// The brown-out threshold.
+    pub fn brownout_voltage(&self) -> Volts {
+        self.brownout
+    }
+
+    /// The sleep-floor power.
+    pub fn sleep_power(&self) -> Watts {
+        self.sleep_power
+    }
+
+    /// Average power at duty cycle `d`.
+    pub fn average_power(&self, d: DutyCycle) -> Watts {
+        let active = self.cycle_energy.value() * self.max_cycles_per_hour * d.value() / 3600.0;
+        self.sleep_power + Watts::new(active)
+    }
+
+    /// Peak instantaneous power during a cycle burst (for supply sizing):
+    /// assumes the cycle energy is spent in a 50 ms burst.
+    pub fn burst_power(&self) -> Watts {
+        self.cycle_energy / Seconds::from_milli(50.0)
+    }
+
+    /// Energy demanded and samples produced over `dt` at duty `d`.
+    pub fn step(&self, d: DutyCycle, dt: Seconds) -> NodeDemand {
+        NodeDemand {
+            energy: self.average_power(d) * dt,
+            samples: self.max_cycles_per_hour * d.value() * dt.as_hours(),
+        }
+    }
+
+    /// The duty cycle whose average power equals `budget` (clamped to
+    /// `[0, 1]`); the inverse of [`average_power`](Self::average_power),
+    /// used by energy-neutral policies.
+    pub fn duty_for_power(&self, budget: Watts) -> DutyCycle {
+        let active_budget = budget - self.sleep_power;
+        let per_duty = self.cycle_energy.value() * self.max_cycles_per_hour / 3600.0;
+        DutyCycle::saturating(active_budget.value() / per_duty)
+    }
+}
+
+/// The load a node places on the bus over one step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeDemand {
+    /// Energy the node wants over the step.
+    pub energy: Joules,
+    /// Data samples produced if fully powered.
+    pub samples: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_power_scales_linearly_with_duty() {
+        let n = SensorNode::milliwatt_class();
+        let p0 = n.average_power(DutyCycle::ZERO);
+        assert_eq!(p0, n.sleep_power());
+        let p_half = n.average_power(DutyCycle::new(0.5).unwrap());
+        let p_full = n.average_power(DutyCycle::ONE);
+        let sleep = n.sleep_power().value();
+        assert!(((p_full.value() - sleep) - 2.0 * (p_half.value() - sleep)).abs() < 1e-15);
+        // Full duty on the mW node is mW-scale: 45 mJ × 720/h = 9 mW.
+        assert!((p_full.as_milli() - 9.012).abs() < 0.01, "{p_full}");
+    }
+
+    #[test]
+    fn class_power_budgets_match_survey() {
+        // System A's budget is "a few milliwatts", System B's "<1 mW".
+        let a = SensorNode::milliwatt_class();
+        let b = SensorNode::submilliwatt_class();
+        let duty = DutyCycle::new(0.25).unwrap();
+        assert!((1.0..5.0).contains(&a.average_power(duty).as_milli()));
+        assert!(b.average_power(duty).as_milli() < 1.0);
+    }
+
+    #[test]
+    fn step_integrates_energy_and_samples() {
+        let n = SensorNode::submilliwatt_class();
+        let d = DutyCycle::new(0.1).unwrap();
+        let demand = n.step(d, Seconds::from_hours(2.0));
+        assert!((demand.samples - 72.0).abs() < 1e-9);
+        let expected = n.average_power(d) * Seconds::from_hours(2.0);
+        assert!((demand.energy - expected).abs().value() < 1e-12);
+    }
+
+    #[test]
+    fn duty_for_power_inverts_average_power() {
+        let n = SensorNode::milliwatt_class();
+        for d in [0.0, 0.1, 0.45, 0.9, 1.0] {
+            let duty = DutyCycle::new(d).unwrap();
+            let p = n.average_power(duty);
+            let back = n.duty_for_power(p);
+            assert!((back.value() - d).abs() < 1e-9, "{d}");
+        }
+        // Budgets below the sleep floor give zero duty; huge budgets clamp.
+        assert_eq!(n.duty_for_power(Watts::from_micro(1.0)), DutyCycle::ZERO);
+        assert_eq!(n.duty_for_power(Watts::new(1.0)), DutyCycle::ONE);
+    }
+
+    #[test]
+    fn burst_power_exceeds_average() {
+        let n = SensorNode::milliwatt_class();
+        assert!(n.burst_power() > n.average_power(DutyCycle::ONE));
+    }
+
+    #[test]
+    #[should_panic(expected = "brownout")]
+    fn rejects_brownout_above_supply() {
+        SensorNode::new(
+            "bad",
+            Watts::from_micro(1.0),
+            Joules::new(0.01),
+            100.0,
+            Volts::new(3.0),
+            Volts::new(3.5),
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Duty-cycle policies: how a node adapts its activity to its energy
+//! status.
+//!
+//! The survey: "as energy generation rates are highly variable, the
+//! requirement for the embedded device to adapt its activity to its energy
+//! status is essential." Each policy consumes exactly the information its
+//! platform's monitoring level provides, so experiment E7 measures what
+//! each Table-I monitoring tier is worth.
+
+use crate::node::SensorNode;
+use crate::status::{EnergyStatus, MonitoringLevel};
+use mseh_units::{DutyCycle, Volts, Watts};
+
+/// Picks the duty cycle for the next control window.
+pub trait DutyCyclePolicy: Send + Sync {
+    /// Human-readable policy name.
+    fn name(&self) -> &str;
+
+    /// The monitoring level this policy requires to function fully.
+    fn required_monitoring(&self) -> MonitoringLevel;
+
+    /// Chooses the duty cycle given the (possibly clamped) energy status.
+    fn choose(&mut self, node: &SensorNode, status: &EnergyStatus) -> DutyCycle;
+}
+
+/// A constant duty cycle, whatever the energy situation — all a platform
+/// without monitoring supports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedDuty {
+    duty: DutyCycle,
+}
+
+impl FixedDuty {
+    /// Runs at `duty` forever.
+    pub fn new(duty: DutyCycle) -> Self {
+        Self { duty }
+    }
+}
+
+impl DutyCyclePolicy for FixedDuty {
+    fn name(&self) -> &str {
+        "fixed duty cycle"
+    }
+
+    fn required_monitoring(&self) -> MonitoringLevel {
+        MonitoringLevel::None
+    }
+
+    fn choose(&mut self, _node: &SensorNode, _status: &EnergyStatus) -> DutyCycle {
+        self.duty
+    }
+}
+
+/// Store-voltage thresholding (System D's capability): full duty above the
+/// high-water mark, reduced below it, survival duty near brown-out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageThreshold {
+    /// Duty when the store is comfortably charged.
+    pub duty_high: DutyCycle,
+    /// Duty in the caution band.
+    pub duty_mid: DutyCycle,
+    /// Duty in the survival band.
+    pub duty_low: DutyCycle,
+    /// Above this store voltage: `duty_high`.
+    pub v_high: Volts,
+    /// Above this store voltage (but below `v_high`): `duty_mid`.
+    pub v_low: Volts,
+}
+
+impl VoltageThreshold {
+    /// A standard three-band ladder for a supercap store: 100 % / 25 % /
+    /// 2 % duty with bands at 2.2 V and 1.4 V.
+    pub fn supercap_ladder() -> Self {
+        Self {
+            duty_high: DutyCycle::ONE,
+            duty_mid: DutyCycle::saturating(0.25),
+            duty_low: DutyCycle::saturating(0.02),
+            v_high: Volts::new(2.2),
+            v_low: Volts::new(1.4),
+        }
+    }
+}
+
+impl DutyCyclePolicy for VoltageThreshold {
+    fn name(&self) -> &str {
+        "store-voltage threshold ladder"
+    }
+
+    fn required_monitoring(&self) -> MonitoringLevel {
+        MonitoringLevel::StoreVoltage
+    }
+
+    fn choose(&mut self, _node: &SensorNode, status: &EnergyStatus) -> DutyCycle {
+        match status.store_voltage {
+            // Blind: behave like the cautious middle band.
+            None => self.duty_mid,
+            Some(v) if v >= self.v_high => self.duty_high,
+            Some(v) if v >= self.v_low => self.duty_mid,
+            Some(_) => self.duty_low,
+        }
+    }
+}
+
+/// Energy-neutral operation (Systems A/B capability): spend what the
+/// harvesters bring in, biased by the state of charge.
+///
+/// The power budget is `harvest_power × 2·soc` — equal to the harvest
+/// rate at half charge, saving below it and spending the surplus above —
+/// with a hard survival reserve: below 25 % state of charge the node
+/// drops to sleep, leaving enough margin for the platform's standing
+/// draw and the buffer's own leakage to ride out a long night. The
+/// budget becomes a duty cycle through the node's load model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyNeutral {
+    /// Smoothed harvest estimate (EWMA).
+    harvest_ewma: Watts,
+    /// EWMA smoothing factor per control window.
+    alpha: f64,
+}
+
+impl EnergyNeutral {
+    /// Creates the policy with a 0.2 smoothing factor.
+    pub fn new() -> Self {
+        Self {
+            harvest_ewma: Watts::ZERO,
+            alpha: 0.2,
+        }
+    }
+}
+
+impl Default for EnergyNeutral {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DutyCyclePolicy for EnergyNeutral {
+    fn name(&self) -> &str {
+        "energy-neutral controller"
+    }
+
+    fn required_monitoring(&self) -> MonitoringLevel {
+        MonitoringLevel::Full
+    }
+
+    fn choose(&mut self, node: &SensorNode, status: &EnergyStatus) -> DutyCycle {
+        let (Some(harvest), Some(soc)) = (status.harvest_power, status.soc) else {
+            // Degraded visibility: fall back to a conservative 10 %.
+            return DutyCycle::saturating(0.1);
+        };
+        self.harvest_ewma = self.harvest_ewma * (1.0 - self.alpha) + harvest * self.alpha;
+        if soc.value() < 0.25 {
+            // Survival reserve: the overnight budget for standing draw
+            // and buffer leakage must outlive estimator lag.
+            return DutyCycle::ZERO;
+        }
+        let budget = self.harvest_ewma * (2.0 * soc.value()).min(2.0);
+        node.duty_for_power(budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mseh_units::{Joules, Ratio};
+
+    fn node() -> SensorNode {
+        SensorNode::milliwatt_class()
+    }
+
+    #[test]
+    fn fixed_ignores_status() {
+        let mut p = FixedDuty::new(DutyCycle::saturating(0.3));
+        let d1 = p.choose(&node(), &EnergyStatus::none());
+        let d2 = p.choose(&node(), &EnergyStatus::voltage_only(Volts::new(0.1)));
+        assert_eq!(d1, d2);
+        assert_eq!(p.required_monitoring(), MonitoringLevel::None);
+    }
+
+    #[test]
+    fn ladder_steps_with_voltage() {
+        let mut p = VoltageThreshold::supercap_ladder();
+        let n = node();
+        assert_eq!(
+            p.choose(&n, &EnergyStatus::voltage_only(Volts::new(2.5))),
+            DutyCycle::ONE
+        );
+        assert_eq!(
+            p.choose(&n, &EnergyStatus::voltage_only(Volts::new(1.8))),
+            DutyCycle::saturating(0.25)
+        );
+        assert_eq!(
+            p.choose(&n, &EnergyStatus::voltage_only(Volts::new(1.0))),
+            DutyCycle::saturating(0.02)
+        );
+        // Blind input falls back to the middle band.
+        assert_eq!(
+            p.choose(&n, &EnergyStatus::none()),
+            DutyCycle::saturating(0.25)
+        );
+    }
+
+    #[test]
+    fn energy_neutral_tracks_harvest() {
+        let mut p = EnergyNeutral::new();
+        let n = node();
+        let status = |harvest_mw: f64| {
+            EnergyStatus::full(
+                Volts::new(2.5),
+                Ratio::new(0.5),
+                Joules::new(30.0),
+                Watts::from_milli(harvest_mw),
+            )
+        };
+        // Let the EWMA settle on a generous harvest.
+        let mut d_rich = DutyCycle::ZERO;
+        for _ in 0..50 {
+            d_rich = p.choose(&n, &status(8.0));
+        }
+        // Then the harvest collapses.
+        let mut d_poor = DutyCycle::ZERO;
+        for _ in 0..50 {
+            d_poor = p.choose(&n, &status(0.2));
+        }
+        assert!(d_rich.value() > d_poor.value());
+        assert!(d_rich.value() > 0.5, "{d_rich}");
+        assert!(d_poor.value() < 0.05, "{d_poor}");
+    }
+
+    #[test]
+    fn energy_neutral_spends_more_when_full() {
+        let n = node();
+        let status_at = |soc: f64| {
+            EnergyStatus::full(
+                Volts::new(2.5),
+                Ratio::new(soc),
+                Joules::new(30.0),
+                Watts::from_milli(3.0),
+            )
+        };
+        let mut p_full = EnergyNeutral::new();
+        let mut p_empty = EnergyNeutral::new();
+        let (mut d_full, mut d_empty) = (DutyCycle::ZERO, DutyCycle::ZERO);
+        for _ in 0..50 {
+            d_full = p_full.choose(&n, &status_at(0.95));
+            d_empty = p_empty.choose(&n, &status_at(0.05));
+        }
+        assert!(d_full.value() > d_empty.value());
+    }
+
+    #[test]
+    fn energy_neutral_degrades_gracefully_when_blinded() {
+        let mut p = EnergyNeutral::new();
+        let d = p.choose(&node(), &EnergyStatus::voltage_only(Volts::new(2.0)));
+        assert_eq!(d, DutyCycle::saturating(0.1));
+        assert_eq!(p.required_monitoring(), MonitoringLevel::Full);
+    }
+}

@@ -1,0 +1,178 @@
+//! What the embedded device can see of its energy hardware — the survey's
+//! "Energy Monitoring/Control Capability" axis made concrete.
+
+use mseh_units::{Joules, Ratio, Seconds, Volts, Watts};
+
+/// The monitoring capability a platform grants its sensor node.
+///
+/// Table I's "Energy Monitoring" column collapses to these levels: most
+/// systems expose nothing, System D exposes only the store voltage
+/// ("Limited"), and Systems A/B expose stored energy and incoming power
+/// ("Yes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MonitoringLevel {
+    /// No energy information reaches the node.
+    None,
+    /// An analog line carries the store voltage only.
+    StoreVoltage,
+    /// Full visibility: stored energy, state of charge and incoming power.
+    Full,
+}
+
+impl MonitoringLevel {
+    /// The label Table I uses.
+    pub fn table_label(self) -> &'static str {
+        match self {
+            MonitoringLevel::None => "No",
+            MonitoringLevel::StoreVoltage => "Limited",
+            MonitoringLevel::Full => "Yes",
+        }
+    }
+}
+
+/// An energy-status report delivered to the node, with fields present
+/// according to the platform's [`MonitoringLevel`].
+///
+/// # Examples
+///
+/// ```
+/// use mseh_node::{EnergyStatus, MonitoringLevel};
+/// use mseh_units::{Volts, Ratio, Joules, Watts};
+///
+/// let full = EnergyStatus::full(
+///     Volts::new(2.5),
+///     Ratio::new(0.6),
+///     Joules::new(40.0),
+///     Watts::from_milli(3.0),
+/// );
+/// assert_eq!(full.level(), MonitoringLevel::Full);
+/// assert!(full.harvest_power.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyStatus {
+    /// Timestamp of the report (simulation time; stamped by the
+    /// simulation kernel — zero when unknown). Time is metadata, not an
+    /// energy measurement, so it survives monitoring-level clamping.
+    pub time: Seconds,
+    /// Store terminal voltage (present at `StoreVoltage` and above).
+    pub store_voltage: Option<Volts>,
+    /// State of charge (present at `Full`).
+    pub soc: Option<Ratio>,
+    /// Stored energy (present at `Full`).
+    pub stored: Option<Joules>,
+    /// Power currently arriving from the harvesters (present at `Full`).
+    pub harvest_power: Option<Watts>,
+}
+
+impl EnergyStatus {
+    /// A blind status (no monitoring).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A store-voltage-only status.
+    pub fn voltage_only(v: Volts) -> Self {
+        Self {
+            store_voltage: Some(v),
+            ..Self::default()
+        }
+    }
+
+    /// A full-visibility status.
+    pub fn full(v: Volts, soc: Ratio, stored: Joules, harvest: Watts) -> Self {
+        Self {
+            store_voltage: Some(v),
+            soc: Some(soc),
+            stored: Some(stored),
+            harvest_power: Some(harvest),
+            ..Self::default()
+        }
+    }
+
+    /// The monitoring level this status corresponds to.
+    pub fn level(&self) -> MonitoringLevel {
+        if self.soc.is_some() && self.harvest_power.is_some() {
+            MonitoringLevel::Full
+        } else if self.store_voltage.is_some() {
+            MonitoringLevel::StoreVoltage
+        } else {
+            MonitoringLevel::None
+        }
+    }
+
+    /// Stamps the report's timestamp.
+    pub fn at(mut self, time: Seconds) -> Self {
+        self.time = time;
+        self
+    }
+
+    /// Restricts this status to what `level` permits (a platform clamping
+    /// its report to its own capability). The timestamp is metadata and
+    /// survives.
+    pub fn clamped_to(self, level: MonitoringLevel) -> Self {
+        match level {
+            MonitoringLevel::None => Self {
+                time: self.time,
+                ..Self::none()
+            },
+            MonitoringLevel::StoreVoltage => Self {
+                time: self.time,
+                store_voltage: self.store_voltage,
+                ..Self::default()
+            },
+            MonitoringLevel::Full => self,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_detection() {
+        assert_eq!(EnergyStatus::none().level(), MonitoringLevel::None);
+        assert_eq!(
+            EnergyStatus::voltage_only(Volts::new(2.0)).level(),
+            MonitoringLevel::StoreVoltage
+        );
+        let full = EnergyStatus::full(
+            Volts::new(2.0),
+            Ratio::new(0.5),
+            Joules::new(1.0),
+            Watts::ZERO,
+        );
+        assert_eq!(full.level(), MonitoringLevel::Full);
+    }
+
+    #[test]
+    fn clamping_removes_fields() {
+        let full = EnergyStatus::full(
+            Volts::new(2.0),
+            Ratio::new(0.5),
+            Joules::new(1.0),
+            Watts::ZERO,
+        );
+        let limited = full.clamped_to(MonitoringLevel::StoreVoltage);
+        assert_eq!(limited.level(), MonitoringLevel::StoreVoltage);
+        assert!(limited.soc.is_none());
+        let blind = full.clamped_to(MonitoringLevel::None);
+        assert_eq!(blind, EnergyStatus::none());
+        // Clamping upward grants nothing new.
+        let v = EnergyStatus::voltage_only(Volts::new(2.0));
+        assert_eq!(v.clamped_to(MonitoringLevel::Full), v);
+    }
+
+    #[test]
+    fn table_labels() {
+        assert_eq!(MonitoringLevel::None.table_label(), "No");
+        assert_eq!(MonitoringLevel::StoreVoltage.table_label(), "Limited");
+        assert_eq!(MonitoringLevel::Full.table_label(), "Yes");
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(MonitoringLevel::None < MonitoringLevel::StoreVoltage);
+        assert!(MonitoringLevel::StoreVoltage < MonitoringLevel::Full);
+    }
+}

@@ -1,0 +1,249 @@
+//! Input protection stages: diode and ideal-diode (active rectifier)
+//! blocks that prevent energy backflow into the harvester — the minimum
+//! input conditioning the survey says every system requires.
+
+use crate::stage::PowerStage;
+use mseh_units::{Amps, Ohms, Volts, Watts};
+
+/// A passive series diode (or diode bridge) input stage.
+///
+/// Burns `n_drops × v_f` of forward drop: cheap, zero quiescent, but
+/// costly at the low harvester voltages the survey's systems operate at.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_power::{DiodeStage, PowerStage};
+/// use mseh_units::{Volts, Watts};
+///
+/// let diode = DiodeStage::schottky_single();
+/// // At 2 V in, a 0.3 V drop passes 85 % of the power.
+/// let out = diode.output_for_input(Watts::from_milli(10.0), Volts::new(2.0));
+/// assert!((out.as_milli() - 8.5).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiodeStage {
+    name: String,
+    /// Forward drop per conducting diode.
+    v_f: Volts,
+    /// Number of diodes conducting simultaneously (1 series, 2 bridge).
+    n_drops: u32,
+}
+
+impl DiodeStage {
+    /// Creates a diode stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward drop is negative or `n_drops` is zero.
+    pub fn new(name: impl Into<String>, v_f: Volts, n_drops: u32) -> Self {
+        assert!(v_f.value() >= 0.0, "forward drop must be non-negative");
+        assert!(n_drops > 0, "need at least one diode");
+        Self {
+            name: name.into(),
+            v_f,
+            n_drops,
+        }
+    }
+
+    /// A single Schottky diode: 0.3 V drop.
+    pub fn schottky_single() -> Self {
+        Self::new("Schottky diode", Volts::from_milli(300.0), 1)
+    }
+
+    /// A full silicon bridge rectifier: two 0.6 V drops conduct.
+    pub fn silicon_bridge() -> Self {
+        Self::new("silicon bridge rectifier", Volts::from_milli(600.0), 2)
+    }
+
+    /// Total forward drop.
+    pub fn total_drop(&self) -> Volts {
+        self.v_f * self.n_drops as f64
+    }
+
+    fn transfer_ratio(&self, v_in: Volts) -> f64 {
+        let drop = self.total_drop();
+        if v_in <= drop {
+            return 0.0;
+        }
+        (v_in - drop) / v_in
+    }
+}
+
+impl PowerStage for DiodeStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quiescent(&self) -> Watts {
+        Watts::ZERO
+    }
+
+    fn accepts_input_voltage(&self, v_in: Volts) -> bool {
+        v_in > self.total_drop()
+    }
+
+    fn output_voltage(&self) -> Volts {
+        // Pass-through minus the drop; callers pass the live input voltage
+        // through `output_for_input`, so report the drop as a nominal.
+        self.total_drop()
+    }
+
+    fn output_for_input(&self, p_in: Watts, v_in: Volts) -> Watts {
+        p_in.max(Watts::ZERO) * self.transfer_ratio(v_in)
+    }
+
+    fn input_for_output(&self, p_out: Watts, v_in: Volts) -> Watts {
+        let ratio = self.transfer_ratio(v_in);
+        if ratio <= 0.0 {
+            return Watts::ZERO;
+        }
+        p_out.max(Watts::ZERO) / ratio
+    }
+}
+
+/// An active ideal-diode controller: a MOSFET switch with a small series
+/// resistance and a housekeeping current, the modern low-loss alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealDiode {
+    name: String,
+    r_on: Ohms,
+    quiescent_current: Amps,
+}
+
+impl IdealDiode {
+    /// Creates an ideal-diode stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_on` is non-positive or the quiescent current negative.
+    pub fn new(name: impl Into<String>, r_on: Ohms, quiescent_current: Amps) -> Self {
+        assert!(r_on.value() > 0.0, "on-resistance must be positive");
+        assert!(
+            quiescent_current.value() >= 0.0,
+            "quiescent current must be non-negative"
+        );
+        Self {
+            name: name.into(),
+            r_on,
+            quiescent_current,
+        }
+    }
+
+    /// A typical nano-power ideal-diode controller: 100 mΩ, 300 nA.
+    pub fn nanopower() -> Self {
+        Self::new(
+            "ideal-diode controller",
+            Ohms::from_milli(100.0),
+            Amps::from_nano(300.0),
+        )
+    }
+}
+
+impl PowerStage for IdealDiode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quiescent(&self) -> Watts {
+        // Housekeeping at a nominal 3 V rail.
+        Volts::new(3.0) * self.quiescent_current
+    }
+
+    fn accepts_input_voltage(&self, v_in: Volts) -> bool {
+        v_in.value() > 0.0
+    }
+
+    fn output_voltage(&self) -> Volts {
+        Volts::ZERO // pass-through: negligible drop
+    }
+
+    fn output_for_input(&self, p_in: Watts, v_in: Volts) -> Watts {
+        if v_in.value() <= 0.0 || p_in.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        // Loss = I²·R_on with I = P/V.
+        let i = p_in.value() / v_in.value();
+        let loss = i * i * self.r_on.value();
+        Watts::new((p_in.value() - loss).max(0.0))
+    }
+
+    fn input_for_output(&self, p_out: Watts, v_in: Volts) -> Watts {
+        if v_in.value() <= 0.0 || p_out.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        // Exact inverse of `out = in − (in/v)²·R`: the smaller root of
+        // `(R/v²)·in² − in + out = 0`.
+        let a = self.r_on.value() / (v_in.value() * v_in.value());
+        let discriminant = 1.0 - 4.0 * a * p_out.value();
+        if discriminant <= 0.0 {
+            // `p_out` exceeds the stage's transferable maximum at this
+            // voltage (v²/4R); report the input at that maximum.
+            return Watts::new(1.0 / (2.0 * a));
+        }
+        Watts::new((1.0 - discriminant.sqrt()) / (2.0 * a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diode_drop_scales_with_count() {
+        assert_eq!(DiodeStage::schottky_single().total_drop().value(), 0.3);
+        assert!((DiodeStage::silicon_bridge().total_drop().value() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diode_blocks_below_drop() {
+        let d = DiodeStage::silicon_bridge();
+        assert!(!d.accepts_input_voltage(Volts::new(1.0)));
+        assert_eq!(
+            d.output_for_input(Watts::from_milli(10.0), Volts::new(1.0)),
+            Watts::ZERO
+        );
+    }
+
+    #[test]
+    fn diode_loss_worsens_at_low_voltage() {
+        let d = DiodeStage::schottky_single();
+        let p = Watts::from_milli(10.0);
+        let high = d.output_for_input(p, Volts::new(5.0)) / p;
+        let low = d.output_for_input(p, Volts::new(0.6)) / p;
+        assert!(high > 0.9);
+        assert!(low < 0.55, "low-voltage ratio {low}");
+    }
+
+    #[test]
+    fn ideal_diode_nearly_lossless_but_draws_quiescent() {
+        let id = IdealDiode::nanopower();
+        let p = Watts::from_milli(10.0);
+        let out = id.output_for_input(p, Volts::new(2.0));
+        assert!(out / p > 0.999, "ratio {}", out / p);
+        assert!(id.quiescent().value() > 0.0);
+        assert!(id.quiescent() < Watts::from_micro(2.0));
+        // Versus the passive diode's zero quiescent.
+        assert_eq!(DiodeStage::schottky_single().quiescent(), Watts::ZERO);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let d = DiodeStage::schottky_single();
+        let v = Volts::new(2.0);
+        let p = Watts::from_milli(7.0);
+        let back = d.output_for_input(d.input_for_output(p, v), v);
+        assert!((back - p).abs().value() < 1e-12);
+
+        let id = IdealDiode::nanopower();
+        let back = id.output_for_input(id.input_for_output(p, v), v);
+        // First-order inverse: tolerance scales with the (tiny) loss.
+        assert!((back - p).abs().value() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one diode")]
+    fn rejects_zero_diodes() {
+        DiodeStage::new("bad", Volts::new(0.3), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Load-dependent conversion-efficiency curves for switching converters.
+
+use mseh_units::{Efficiency, Watts};
+
+/// A conversion-efficiency curve over load fraction (output power divided
+/// by rated power).
+///
+/// Switching converters are inefficient at light load (switching and gate
+/// losses dominate), peak in the mid range, and roll off slightly toward
+/// full load (conduction losses) — the shape behind the survey's
+/// "efficiency vs. complexity/quiescent consumption" trade-off.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_power::EfficiencyCurve;
+///
+/// let curve = EfficiencyCurve::switching_small();
+/// let light = curve.at_load_fraction(0.01);
+/// let mid = curve.at_load_fraction(0.5);
+/// assert!(mid.value() > light.value());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyCurve {
+    /// (load fraction, efficiency) knots, load-ascending.
+    knots: Vec<(f64, f64)>,
+}
+
+impl EfficiencyCurve {
+    /// Creates a curve from `(load_fraction, efficiency)` knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two knots are given, the knots are not
+    /// load-ascending, or an efficiency lies outside `(0, 1]`.
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        assert!(
+            knots.windows(2).all(|w| w[0].0 < w[1].0),
+            "knots must be load-ascending"
+        );
+        assert!(
+            knots.iter().all(|&(l, e)| l >= 0.0 && e > 0.0 && e <= 1.0),
+            "efficiencies must be in (0, 1]"
+        );
+        Self { knots }
+    }
+
+    /// A small switching converter (boost/buck-boost in the mW class):
+    /// 40 % at 1 % load, 85 % peak at 30–70 %, 82 % at full load.
+    pub fn switching_small() -> Self {
+        Self::new(vec![
+            (0.001, 0.15),
+            (0.01, 0.40),
+            (0.1, 0.75),
+            (0.3, 0.85),
+            (0.7, 0.85),
+            (1.0, 0.82),
+        ])
+    }
+
+    /// A high-quality MPPT front-end converter: flatter, 90 % peak.
+    pub fn switching_premium() -> Self {
+        Self::new(vec![
+            (0.001, 0.25),
+            (0.01, 0.55),
+            (0.1, 0.84),
+            (0.3, 0.90),
+            (0.7, 0.90),
+            (1.0, 0.88),
+        ])
+    }
+
+    /// A constant-efficiency idealization (for ablations).
+    pub fn flat(eta: Efficiency) -> Self {
+        Self::new(vec![
+            (0.0, eta.value().max(1e-6)),
+            (1.0, eta.value().max(1e-6)),
+        ])
+    }
+
+    /// Efficiency at the given load fraction (clamped to the knot span).
+    pub fn at_load_fraction(&self, load: f64) -> Efficiency {
+        let load = load.max(0.0);
+        let first = self.knots[0];
+        if load <= first.0 {
+            return Efficiency::saturating(first.1);
+        }
+        for pair in self.knots.windows(2) {
+            let (l0, e0) = pair[0];
+            let (l1, e1) = pair[1];
+            if load <= l1 {
+                return Efficiency::saturating(e0 + (e1 - e0) * (load - l0) / (l1 - l0));
+            }
+        }
+        Efficiency::saturating(self.knots.last().expect("non-empty").1)
+    }
+
+    /// Efficiency for an output power given a rated power.
+    pub fn at_power(&self, p_out: Watts, rated: Watts) -> Efficiency {
+        if rated.value() <= 0.0 {
+            return Efficiency::ZERO;
+        }
+        self.at_load_fraction(p_out.value() / rated.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_knots() {
+        let c = EfficiencyCurve::new(vec![(0.0, 0.5), (1.0, 0.9)]);
+        assert!((c.at_load_fraction(0.5).value() - 0.7).abs() < 1e-12);
+        assert_eq!(c.at_load_fraction(0.0).value(), 0.5);
+        assert_eq!(c.at_load_fraction(2.0).value(), 0.9);
+        assert_eq!(c.at_load_fraction(-1.0).value(), 0.5);
+    }
+
+    #[test]
+    fn presets_have_realistic_shape() {
+        let c = EfficiencyCurve::switching_small();
+        assert!(c.at_load_fraction(0.005).value() < 0.5);
+        assert!(c.at_load_fraction(0.5).value() >= 0.84);
+        assert!(c.at_load_fraction(1.0).value() < c.at_load_fraction(0.5).value());
+        let p = EfficiencyCurve::switching_premium();
+        assert!(p.at_load_fraction(0.5).value() > c.at_load_fraction(0.5).value());
+    }
+
+    #[test]
+    fn at_power_uses_rating() {
+        let c = EfficiencyCurve::flat(Efficiency::new(0.8).unwrap());
+        assert_eq!(
+            c.at_power(Watts::from_milli(10.0), Watts::from_milli(100.0))
+                .value(),
+            0.8
+        );
+        assert_eq!(c.at_power(Watts::new(1.0), Watts::ZERO), Efficiency::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "load-ascending")]
+    fn rejects_unsorted() {
+        EfficiencyCurve::new(vec![(0.5, 0.8), (0.1, 0.9)]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Low-dropout linear regulator — System B's output stage: "a low
+//! quiescent current linear regulator, which again is a compromise between
+//! its conversion efficiency and quiescent current draw."
+
+use crate::stage::PowerStage;
+use mseh_units::{Amps, Volts, Watts};
+
+/// A low-dropout (LDO) linear regulator.
+///
+/// Efficiency is structural: `η = v_out / v_in` (the pass element burns
+/// the headroom), so the LDO wins only when the input rail sits close to
+/// the output — but its quiescent draw is orders of magnitude below a
+/// switching stage's, which is why sub-µW systems choose it (experiment
+/// E4).
+///
+/// # Examples
+///
+/// ```
+/// use mseh_power::{LinearRegulator, PowerStage};
+/// use mseh_units::{Volts, Watts};
+///
+/// let ldo = LinearRegulator::ldo_3v0();
+/// let out = ldo.output_for_input(Watts::from_milli(10.0), Volts::new(3.6));
+/// // η = 3.0 / 3.6 ≈ 83 %.
+/// assert!((out.as_milli() - 8.33).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegulator {
+    name: String,
+    v_out: Volts,
+    dropout: Volts,
+    v_in_max: Volts,
+    quiescent_current: Amps,
+    rated_current: Amps,
+}
+
+impl LinearRegulator {
+    /// Creates an LDO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a voltage or the rated current is non-positive, or the
+    /// maximum input is not above `v_out + dropout`.
+    pub fn new(
+        name: impl Into<String>,
+        v_out: Volts,
+        dropout: Volts,
+        v_in_max: Volts,
+        quiescent_current: Amps,
+        rated_current: Amps,
+    ) -> Self {
+        assert!(v_out.value() > 0.0, "output voltage must be positive");
+        assert!(dropout.value() >= 0.0, "dropout must be non-negative");
+        assert!(
+            v_in_max > v_out + dropout,
+            "input ceiling must exceed v_out + dropout"
+        );
+        assert!(
+            quiescent_current.value() >= 0.0 && rated_current.value() > 0.0,
+            "currents must be non-negative (rated positive)"
+        );
+        Self {
+            name: name.into(),
+            v_out,
+            dropout,
+            v_in_max,
+            quiescent_current,
+            rated_current,
+        }
+    }
+
+    /// System B's output stage: 3.0 V out, 150 mV dropout, 6 V max input,
+    /// 1 µA quiescent, 150 mA rated.
+    pub fn ldo_3v0() -> Self {
+        Self::new(
+            "3.0 V nano-power LDO",
+            Volts::new(3.0),
+            Volts::from_milli(150.0),
+            Volts::new(6.0),
+            Amps::from_micro(1.0),
+            Amps::from_milli(150.0),
+        )
+    }
+
+    /// A 3.3 V LDO variant for thin-film-battery systems (Maxim
+    /// MAX17710-class output, sub-µA quiescent).
+    pub fn ldo_3v3_nanopower() -> Self {
+        Self::new(
+            "3.3 V nano-power LDO",
+            Volts::new(3.3),
+            Volts::from_milli(200.0),
+            Volts::new(5.5),
+            Amps::from_nano(625.0),
+            Amps::from_milli(75.0),
+        )
+    }
+
+    /// The minimum input voltage for regulation.
+    pub fn min_input(&self) -> Volts {
+        self.v_out + self.dropout
+    }
+
+    /// The pass-element efficiency at `v_in`: `v_out / v_in`.
+    pub fn pass_efficiency(&self, v_in: Volts) -> f64 {
+        if v_in.value() <= 0.0 {
+            return 0.0;
+        }
+        (self.v_out.value() / v_in.value()).min(1.0)
+    }
+}
+
+impl PowerStage for LinearRegulator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quiescent(&self) -> Watts {
+        // Ground-pin current at the output rail's order of magnitude.
+        self.v_out * self.quiescent_current
+    }
+
+    fn accepts_input_voltage(&self, v_in: Volts) -> bool {
+        v_in >= self.min_input() && v_in <= self.v_in_max
+    }
+
+    fn output_voltage(&self) -> Volts {
+        self.v_out
+    }
+
+    fn output_for_input(&self, p_in: Watts, v_in: Volts) -> Watts {
+        if !self.accepts_input_voltage(v_in) || p_in.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        let rated = self.v_out * self.rated_current;
+        (p_in * self.pass_efficiency(v_in)).min(rated)
+    }
+
+    fn input_for_output(&self, p_out: Watts, v_in: Volts) -> Watts {
+        if !self.accepts_input_voltage(v_in) || p_out.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        let rated = self.v_out * self.rated_current;
+        p_out.min(rated) / self.pass_efficiency(v_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_voltage_ratio() {
+        let ldo = LinearRegulator::ldo_3v0();
+        assert!((ldo.pass_efficiency(Volts::new(4.0)) - 0.75).abs() < 1e-12);
+        assert!((ldo.pass_efficiency(Volts::new(3.15)) - 3.0 / 3.15).abs() < 1e-12);
+        assert_eq!(ldo.pass_efficiency(Volts::ZERO), 0.0);
+    }
+
+    #[test]
+    fn dropout_gates_regulation() {
+        let ldo = LinearRegulator::ldo_3v0();
+        assert!(!ldo.accepts_input_voltage(Volts::new(3.1))); // below 3.15
+        assert!(ldo.accepts_input_voltage(Volts::new(3.2)));
+        assert!(!ldo.accepts_input_voltage(Volts::new(6.5))); // above ceiling
+        assert_eq!(
+            ldo.output_for_input(Watts::from_milli(5.0), Volts::new(3.0)),
+            Watts::ZERO
+        );
+    }
+
+    #[test]
+    fn quiescent_far_below_switching_stage() {
+        let ldo = LinearRegulator::ldo_3v0();
+        // 1 µA × 3 V = 3 µW.
+        assert!((ldo.quiescent().as_micro() - 3.0).abs() < 1e-9);
+        let nano = LinearRegulator::ldo_3v3_nanopower();
+        assert!(nano.quiescent().as_micro() < 2.5);
+    }
+
+    #[test]
+    fn inversion_roundtrip() {
+        let ldo = LinearRegulator::ldo_3v0();
+        let v = Volts::new(4.2);
+        let p_out = Watts::from_milli(30.0);
+        let p_in = ldo.input_for_output(p_out, v);
+        let back = ldo.output_for_input(p_in, v);
+        assert!((back - p_out).abs().value() < 1e-12);
+    }
+
+    #[test]
+    fn current_limit_clamps_output() {
+        let ldo = LinearRegulator::ldo_3v0();
+        let rated = Volts::new(3.0) * Amps::from_milli(150.0);
+        let out = ldo.output_for_input(Watts::new(10.0), Volts::new(4.0));
+        assert!(out <= rated + Watts::new(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed v_out + dropout")]
+    fn rejects_impossible_window() {
+        LinearRegulator::new(
+            "bad",
+            Volts::new(3.3),
+            Volts::new(0.2),
+            Volts::new(3.0),
+            Amps::ZERO,
+            Amps::from_milli(10.0),
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-component quiescent/housekeeping accounting — the ledger behind
+//! Table I's "Quiescent Current Draw" row (experiment E5).
+
+use mseh_units::{Amps, Joules, Seconds, Volts, Watts};
+
+/// One named contributor to a platform's standing draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Component name.
+    pub component: String,
+    /// Standing power draw.
+    pub power: Watts,
+    /// Energy charged so far.
+    pub energy: Joules,
+}
+
+/// An itemized ledger of housekeeping power.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_power::QuiescentLedger;
+/// use mseh_units::{Watts, Seconds, Volts};
+///
+/// let mut ledger = QuiescentLedger::new(Volts::new(3.3));
+/// ledger.add("supervisor MCU", Watts::from_micro(10.0));
+/// ledger.add("output converter", Watts::from_micro(16.5));
+/// ledger.accrue(Seconds::from_hours(1.0));
+/// assert!((ledger.total_power().as_micro() - 26.5).abs() < 1e-9);
+/// assert!((ledger.total_current().as_micro() - 8.03).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuiescentLedger {
+    rail: Volts,
+    entries: Vec<LedgerEntry>,
+}
+
+impl QuiescentLedger {
+    /// Creates a ledger referenced to the given bus rail (used to express
+    /// the total as a current, as the survey's Table I does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rail voltage is not positive.
+    pub fn new(rail: Volts) -> Self {
+        assert!(rail.value() > 0.0, "rail voltage must be positive");
+        Self {
+            rail,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a standing draw. Repeated names accumulate separately
+    /// (each call is one component instance).
+    pub fn add(&mut self, component: impl Into<String>, power: Watts) {
+        self.entries.push(LedgerEntry {
+            component: component.into(),
+            power,
+            energy: Joules::ZERO,
+        });
+    }
+
+    /// Accrues every entry's energy over `dt`.
+    pub fn accrue(&mut self, dt: Seconds) {
+        for e in &mut self.entries {
+            e.energy += e.power * dt;
+        }
+    }
+
+    /// Total standing power.
+    pub fn total_power(&self) -> Watts {
+        self.entries.iter().map(|e| e.power).sum()
+    }
+
+    /// Total standing draw expressed as a current at the reference rail —
+    /// directly comparable to Table I's µA figures.
+    pub fn total_current(&self) -> Amps {
+        self.total_power() / self.rail
+    }
+
+    /// Total accrued housekeeping energy.
+    pub fn total_energy(&self) -> Joules {
+        self.entries.iter().map(|e| e.energy).sum()
+    }
+
+    /// Iterates over the itemized entries.
+    pub fn iter(&self) -> impl Iterator<Item = &LedgerEntry> {
+        self.entries.iter()
+    }
+
+    /// The reference rail.
+    pub fn rail(&self) -> Volts {
+        self.rail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itemized_totals() {
+        let mut l = QuiescentLedger::new(Volts::new(3.0));
+        l.add("a", Watts::from_micro(5.0));
+        l.add("b", Watts::from_micro(10.0));
+        assert!((l.total_power().as_micro() - 15.0).abs() < 1e-12);
+        assert!((l.total_current().as_micro() - 5.0).abs() < 1e-12);
+        assert_eq!(l.iter().count(), 2);
+        assert_eq!(l.rail(), Volts::new(3.0));
+    }
+
+    #[test]
+    fn accrual_integrates_power() {
+        let mut l = QuiescentLedger::new(Volts::new(3.0));
+        l.add("mcu", Watts::from_micro(30.0));
+        l.accrue(Seconds::from_hours(10.0));
+        // 30 µW × 36 000 s = 1.08 J.
+        assert!((l.total_energy().value() - 1.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = QuiescentLedger::new(Volts::new(3.3));
+        assert_eq!(l.total_power(), Watts::ZERO);
+        assert_eq!(l.total_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "rail voltage")]
+    fn rejects_zero_rail() {
+        QuiescentLedger::new(Volts::ZERO);
+    }
+}

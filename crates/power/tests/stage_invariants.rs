@@ -1,0 +1,125 @@
+//! Property-based invariants over every power stage.
+
+use mseh_power::{
+    DcDcConverter, DiodeStage, EfficiencyCurve, IdealDiode, LinearRegulator, PowerStage, Topology,
+};
+use mseh_units::{Amps, Efficiency, Volts, Watts};
+use proptest::prelude::*;
+
+fn stages() -> Vec<Box<dyn PowerStage>> {
+    vec![
+        Box::new(DcDcConverter::buck_boost_3v3()),
+        Box::new(DcDcConverter::mppt_front_end_5v()),
+        Box::new(DcDcConverter::module_interface_4v1()),
+        Box::new(DcDcConverter::new(
+            "flat test converter",
+            Topology::BuckBoost,
+            Volts::new(0.5),
+            Volts::new(10.0),
+            Volts::new(3.3),
+            EfficiencyCurve::flat(Efficiency::saturating(0.8)),
+            Watts::from_milli(100.0),
+            Watts::from_micro(5.0),
+        )),
+        Box::new(LinearRegulator::ldo_3v0()),
+        Box::new(LinearRegulator::ldo_3v3_nanopower()),
+        Box::new(DiodeStage::schottky_single()),
+        Box::new(DiodeStage::silicon_bridge()),
+        Box::new(IdealDiode::nanopower()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No stage creates power: output ≤ input, both non-negative and
+    /// finite, for any input power and voltage.
+    #[test]
+    fn stages_never_gain(p_mw in 0.0..500.0f64, v in 0.0..20.0f64) {
+        let p_in = Watts::from_milli(p_mw);
+        let v_in = Volts::new(v);
+        for stage in stages() {
+            let out = stage.output_for_input(p_in, v_in);
+            prop_assert!(out.value() >= 0.0, "{}", stage.name());
+            prop_assert!(out.is_finite(), "{}", stage.name());
+            prop_assert!(out <= p_in + Watts::new(1e-15), "{} gained power", stage.name());
+        }
+    }
+
+    /// `input_for_output` inverts `output_for_input` (within numeric
+    /// tolerance) whenever the stage accepts the voltage and the output
+    /// is within its rating.
+    #[test]
+    fn transfer_roundtrip(p_mw in 0.001..50.0f64, v in 0.3..18.0f64) {
+        let v_in = Volts::new(v);
+        for stage in stages() {
+            if !stage.accepts_input_voltage(v_in) {
+                continue;
+            }
+            let p_out = Watts::from_milli(p_mw);
+            let p_in = stage.input_for_output(p_out, v_in);
+            if p_in.value() <= 0.0 {
+                continue; // output beyond the stage's capability
+            }
+            let back = stage.output_for_input(p_in, v_in);
+            let achievable = p_out.min(back.max(p_out)); // rating clamps
+            prop_assert!(
+                (back - achievable).abs().value() <= 1e-6 * achievable.value().max(1e-9),
+                "{}: {p_out} -> {p_in} -> {back}", stage.name()
+            );
+        }
+    }
+
+    /// Monotonicity: more input power never yields less output.
+    #[test]
+    fn output_monotone_in_input(v in 0.5..15.0f64) {
+        let v_in = Volts::new(v);
+        for stage in stages() {
+            if !stage.accepts_input_voltage(v_in) {
+                continue;
+            }
+            let mut prev = Watts::ZERO;
+            for mw in [0.01, 0.1, 1.0, 10.0, 100.0, 400.0] {
+                let out = stage.output_for_input(Watts::from_milli(mw), v_in);
+                prop_assert!(
+                    out >= prev - Watts::new(1e-12),
+                    "{} output fell at {mw} mW", stage.name()
+                );
+                prev = out;
+            }
+        }
+    }
+
+    /// Rejected voltages transfer nothing (and quiescent draw is always
+    /// reported non-negative and finite).
+    #[test]
+    fn rejected_voltages_block_transfer(p_mw in 0.1..100.0f64, v in 0.0..30.0f64) {
+        let v_in = Volts::new(v);
+        for stage in stages() {
+            prop_assert!(stage.quiescent().value() >= 0.0);
+            prop_assert!(stage.quiescent().is_finite());
+            if !stage.accepts_input_voltage(v_in) {
+                prop_assert_eq!(
+                    stage.output_for_input(Watts::from_milli(p_mw), v_in),
+                    Watts::ZERO,
+                    "{} leaked through a rejected voltage", stage.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quiescent_ordering_across_families() {
+    // Passive diode (free) < ideal diode (nA) < nano LDO (sub-µA) <
+    // switching converters (µA).
+    let diode = DiodeStage::schottky_single().quiescent();
+    let ideal = IdealDiode::nanopower().quiescent();
+    let ldo = LinearRegulator::ldo_3v3_nanopower().quiescent();
+    let conv = DcDcConverter::buck_boost_3v3().quiescent();
+    assert_eq!(diode, Watts::ZERO);
+    assert!(ideal > diode);
+    assert!(ldo > ideal);
+    assert!(conv > ldo);
+    let _ = Amps::ZERO;
+}

@@ -1,0 +1,191 @@
+//! Seed ensembles: run the same scenario across many environment seeds
+//! and summarize the spread — the robustness check behind every claim in
+//! `EXPERIMENTS.md`.
+
+use crate::platform::Platform;
+use crate::runner::{run_simulation, SimConfig, SimResult};
+use mseh_env::Environment;
+use mseh_node::{DutyCyclePolicy, SensorNode};
+
+/// Summary statistics of one metric across an ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spread {
+    /// Ensemble mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Spread {
+    fn of(values: &[f64]) -> Self {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { mean, min, max }
+    }
+}
+
+/// Ensemble results across seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSummary {
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Harvested energy (J) across seeds.
+    pub harvested: Spread,
+    /// Uptime fraction across seeds.
+    pub uptime: Spread,
+    /// Data samples across seeds.
+    pub samples: Spread,
+    /// The individual runs, seed-aligned.
+    pub runs: Vec<SimResult>,
+}
+
+/// Runs the scenario once per seed and summarizes.
+///
+/// `make_platform` builds a fresh platform per run (state must not leak
+/// between seeds); `make_env` maps a seed to its environment;
+/// `make_policy` builds a fresh policy per run.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_sim::{run_seed_ensemble, SimConfig};
+/// use mseh_core::{PowerUnit, StoreRole, PortRequirement};
+/// use mseh_power::DcDcConverter;
+/// use mseh_storage::Supercap;
+/// use mseh_node::{SensorNode, FixedDuty};
+/// use mseh_env::Environment;
+/// use mseh_units::{DutyCycle, Seconds, Volts};
+///
+/// let summary = run_seed_ensemble(
+///     &[1, 2, 3],
+///     |_seed| {
+///         let mut cap = Supercap::edlc_22f();
+///         cap.set_voltage(Volts::new(2.5));
+///         PowerUnit::builder("ensemble demo")
+///             .store_port(
+///                 PortRequirement::any_in_window("b", Volts::ZERO, Volts::new(3.0)),
+///                 Some(Box::new(cap)), StoreRole::PrimaryBuffer, true)
+///             .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+///             .build()
+///     },
+///     Environment::indoor_office,
+///     |_seed| FixedDuty::new(DutyCycle::saturating(0.02)),
+///     &SensorNode::submilliwatt_class(),
+///     SimConfig::over(Seconds::from_hours(2.0)),
+/// );
+/// assert_eq!(summary.runs.len(), 3);
+/// assert!(summary.uptime.min > 0.9);
+/// ```
+pub fn run_seed_ensemble<P, F, E, G, Q>(
+    seeds: &[u64],
+    mut make_platform: F,
+    mut make_env: E,
+    mut make_policy: G,
+    node: &SensorNode,
+    config: SimConfig,
+) -> EnsembleSummary
+where
+    P: Platform,
+    F: FnMut(u64) -> P,
+    E: FnMut(u64) -> Environment,
+    G: FnMut(u64) -> Q,
+    Q: DutyCyclePolicy,
+{
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<SimResult> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut platform = make_platform(seed);
+            let env = make_env(seed);
+            let mut policy = make_policy(seed);
+            run_simulation(&mut platform, &env, node, &mut policy, config)
+        })
+        .collect();
+    let harvested: Vec<f64> = runs.iter().map(|r| r.harvested.value()).collect();
+    let uptime: Vec<f64> = runs.iter().map(|r| r.uptime).collect();
+    let samples: Vec<f64> = runs.iter().map(|r| r.samples).collect();
+    EnsembleSummary {
+        seeds: seeds.to_vec(),
+        harvested: Spread::of(&harvested),
+        uptime: Spread::of(&uptime),
+        samples: Spread::of(&samples),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mseh_core::{PortRequirement, PowerUnit, StoreRole};
+    use mseh_node::FixedDuty;
+    use mseh_power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
+    use mseh_storage::Supercap;
+    use mseh_units::{DutyCycle, Seconds, Volts};
+
+    fn solar_rig() -> PowerUnit {
+        let channel = InputChannel::new(
+            Box::new(mseh_harvesters::PvModule::outdoor_panel_half_watt()),
+            Box::new(FractionalVoc::pv_standard()),
+            Box::new(IdealDiode::nanopower()),
+            Box::new(DcDcConverter::mppt_front_end_5v()),
+        );
+        let mut cap = Supercap::edlc_22f();
+        cap.set_voltage(Volts::new(2.0));
+        PowerUnit::builder("ensemble rig")
+            .harvester_port(
+                PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+                Some(channel),
+                true,
+            )
+            .store_port(
+                PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(3.0)),
+                Some(Box::new(cap)),
+                StoreRole::PrimaryBuffer,
+                true,
+            )
+            .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+            .build()
+    }
+
+    #[test]
+    fn ensemble_spreads_are_consistent() {
+        let summary = run_seed_ensemble(
+            &[1, 2, 3, 4, 5],
+            |_| solar_rig(),
+            Environment::outdoor_temperate,
+            |_| FixedDuty::new(DutyCycle::saturating(0.05)),
+            &mseh_node::SensorNode::submilliwatt_class(),
+            SimConfig::over(Seconds::from_hours(12.0)),
+        );
+        assert_eq!(summary.runs.len(), 5);
+        assert!(summary.harvested.min <= summary.harvested.mean);
+        assert!(summary.harvested.mean <= summary.harvested.max);
+        // Different seeds give different weather, hence different
+        // harvests.
+        assert!(summary.harvested.max > summary.harvested.min);
+        // Every run's books balance.
+        for run in &summary.runs {
+            assert!(run.audit_residual < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_empty_seed_set() {
+        run_seed_ensemble(
+            &[],
+            |_| solar_rig(),
+            Environment::outdoor_temperate,
+            |_| FixedDuty::new(DutyCycle::ZERO),
+            &mseh_node::SensorNode::submilliwatt_class(),
+            SimConfig::over(Seconds::from_hours(1.0)),
+        );
+    }
+}

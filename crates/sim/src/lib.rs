@@ -1,0 +1,68 @@
+//! Discrete-time simulation kernel for multi-source harvesting platforms.
+//!
+//! The kernel drives a [`Platform`] (a [`mseh_core::PowerUnit`] or
+//! [`mseh_core::SmartNetwork`]) against a seeded
+//! [`mseh_env::Environment`], with a [`mseh_node::SensorNode`] as the
+//! load and a [`mseh_node::DutyCyclePolicy`] closing the energy-awareness
+//! loop. Power flow is solved quasi-statically per step (the standard
+//! approach for long-horizon energy-harvesting simulation), and the run's
+//! energy books are audited: the storage conservation identity must close
+//! to numerical precision or the run fails in debug builds.
+//!
+//! [`sweep`] and friends support the experiment harness: parameter grids,
+//! threshold search (minimum buffer size) and crossover location (where
+//! MPPT starts paying off).
+//!
+//! # Examples
+//!
+//! ```
+//! use mseh_sim::{run_simulation, SimConfig};
+//! use mseh_core::{PowerUnit, StoreRole, PortRequirement};
+//! use mseh_power::{InputChannel, FractionalVoc, DcDcConverter, IdealDiode};
+//! use mseh_harvesters::PvModule;
+//! use mseh_storage::Supercap;
+//! use mseh_node::{SensorNode, VoltageThreshold};
+//! use mseh_env::Environment;
+//! use mseh_units::{Seconds, Volts};
+//!
+//! let channel = InputChannel::new(
+//!     Box::new(PvModule::outdoor_panel_half_watt()),
+//!     Box::new(FractionalVoc::pv_standard()),
+//!     Box::new(IdealDiode::nanopower()),
+//!     Box::new(DcDcConverter::mppt_front_end_5v()),
+//! );
+//! let mut unit = PowerUnit::builder("doc demo")
+//!     .harvester_port(
+//!         PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+//!         Some(channel), true)
+//!     .store_port(
+//!         PortRequirement::any_in_window("buf", Volts::ZERO, Volts::new(3.0)),
+//!         Some(Box::new(Supercap::edlc_22f())), StoreRole::PrimaryBuffer, true)
+//!     .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+//!     .build();
+//!
+//! let result = run_simulation(
+//!     &mut unit,
+//!     &Environment::outdoor_temperate(42),
+//!     &SensorNode::submilliwatt_class(),
+//!     &mut VoltageThreshold::supercap_ladder(),
+//!     SimConfig::over(Seconds::from_days(2.0)),
+//! );
+//! assert!(result.harvested.value() > 0.0);
+//! assert!(result.audit_residual < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ensemble;
+mod fault;
+mod platform;
+mod runner;
+mod sweep;
+
+pub use ensemble::{run_seed_ensemble, EnsembleSummary, Spread};
+pub use fault::{DegradingHarvester, FailingStorage};
+pub use platform::Platform;
+pub use runner::{run_simulation, SimConfig, SimResult, SimTraces};
+pub use sweep::{crossover, day_grid, first_meeting, geometric_grid, sweep, SweepPoint};

@@ -1,0 +1,133 @@
+//! Parameter-sweep helpers for the experiment harness: run a family of
+//! simulations over a parameter grid and collect one summary value per
+//! point.
+
+use mseh_units::Seconds;
+
+/// One point of a sweep: the swept parameter value and the measured
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub parameter: f64,
+    /// The measured outcome at that value.
+    pub outcome: f64,
+}
+
+/// Runs `measure` over each parameter value and collects the points.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_sim::sweep;
+///
+/// let points = sweep(&[1.0, 2.0, 3.0], |x| x * x);
+/// assert_eq!(points[2].outcome, 9.0);
+/// ```
+pub fn sweep(parameters: &[f64], mut measure: impl FnMut(f64) -> f64) -> Vec<SweepPoint> {
+    parameters
+        .iter()
+        .map(|&parameter| SweepPoint {
+            parameter,
+            outcome: measure(parameter),
+        })
+        .collect()
+}
+
+/// Finds the smallest parameter in an ascending sweep whose outcome meets
+/// `threshold` (`outcome >= threshold`), if any — the "minimum buffer
+/// size for zero downtime" pattern of experiment E2.
+pub fn first_meeting(points: &[SweepPoint], threshold: f64) -> Option<SweepPoint> {
+    points.iter().copied().find(|p| p.outcome >= threshold)
+}
+
+/// Locates the crossover between two outcome series measured on the same
+/// ascending parameter grid: the first parameter at which series `a`'s
+/// outcome overtakes series `b`'s. Returns `None` when `a` never
+/// overtakes (or the grids differ).
+///
+/// Used by experiment E3 to find the harvest level where MPPT starts
+/// paying for its overhead.
+pub fn crossover(a: &[SweepPoint], b: &[SweepPoint]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    a.iter()
+        .zip(b)
+        .find(|(pa, pb)| {
+            debug_assert_eq!(pa.parameter, pb.parameter, "grids must match");
+            pa.outcome > pb.outcome
+        })
+        .map(|(pa, _)| pa.parameter)
+}
+
+/// A geometric parameter grid from `lo` to `hi` (inclusive) with `n`
+/// points — natural for power/size sweeps spanning decades.
+///
+/// # Panics
+///
+/// Panics if `lo` or `hi` is non-positive, `hi <= lo`, or `n < 2`.
+pub fn geometric_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert!(n >= 2, "need at least two points");
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// Durations in whole days as a grid of seconds (for horizon sweeps).
+pub fn day_grid(days: &[f64]) -> Vec<Seconds> {
+    days.iter().map(|&d| Seconds::from_days(d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_applies_measure() {
+        let pts = sweep(&[0.0, 1.0, 2.0], |x| 2.0 * x + 1.0);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].outcome, 1.0);
+        assert_eq!(pts[2].outcome, 5.0);
+    }
+
+    #[test]
+    fn first_meeting_finds_threshold() {
+        let pts = sweep(&[1.0, 2.0, 4.0, 8.0], |x| x);
+        let hit = first_meeting(&pts, 3.0).expect("4 meets it");
+        assert_eq!(hit.parameter, 4.0);
+        assert!(first_meeting(&pts, 100.0).is_none());
+    }
+
+    #[test]
+    fn crossover_detects_overtake() {
+        let grid = [1.0, 2.0, 3.0, 4.0];
+        let a = sweep(&grid, |x| x * x); // overtakes...
+        let b = sweep(&grid, |x| 3.0 * x); // ...after x=3
+        assert_eq!(crossover(&a, &b), Some(4.0));
+        assert_eq!(crossover(&b, &a), Some(1.0));
+        assert_eq!(crossover(&a, &a), None);
+        assert_eq!(crossover(&a, &b[..2]), None);
+    }
+
+    #[test]
+    fn geometric_grid_spans_decades() {
+        let g = geometric_grid(1.0, 1000.0, 4);
+        assert_eq!(g.len(), 4);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        assert!((g[3] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn grid_rejects_bad_range() {
+        geometric_grid(10.0, 1.0, 4);
+    }
+
+    #[test]
+    fn day_grid_converts() {
+        let g = day_grid(&[1.0, 7.0]);
+        assert_eq!(g[1].as_days(), 7.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Electrochemical battery model: OCV-vs-SoC curve, coulombic efficiency,
+//! self-discharge and C-rate limits, parameterized per chemistry.
+
+use crate::kind::StorageKind;
+use crate::storage::Storage;
+use mseh_units::{Joules, Seconds, Volts, Watts};
+
+/// A battery (rechargeable or primary).
+///
+/// The model tracks stored energy directly; terminal voltage follows a
+/// piecewise-linear open-circuit-voltage curve over state of charge.
+/// Charge acceptance and delivery are limited by C-rates; charging incurs
+/// the chemistry's coulombic/energy efficiency; self-discharge is a
+/// per-month fraction applied continuously.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_storage::{Battery, Storage};
+/// use mseh_units::{Watts, Seconds};
+///
+/// let mut cell = Battery::lipo_400mah();
+/// let taken = cell.charge(Watts::from_milli(100.0), Seconds::from_hours(1.0));
+/// assert!(taken.value() > 0.0);
+/// assert!(cell.soc().value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    name: String,
+    kind: StorageKind,
+    capacity: Joules,
+    /// OCV curve as (SoC, volts) knots, SoC ascending from 0 to 1.
+    ocv_curve: Vec<(f64, f64)>,
+    /// Fraction of charged energy actually stored.
+    eta_charge: f64,
+    /// Fraction of internal energy delivered on discharge.
+    eta_discharge: f64,
+    /// Self-discharge fraction per 30 days.
+    self_discharge_month: f64,
+    /// Maximum charge rate in C (1 C = full charge in one hour).
+    c_rate_charge: f64,
+    /// Maximum discharge rate in C.
+    c_rate_discharge: f64,
+    /// Present stored energy.
+    energy: Joules,
+    /// Accumulated internal dissipation.
+    losses: Joules,
+    /// Total energy throughput (for cycle counting).
+    throughput: Joules,
+}
+
+impl Battery {
+    /// Creates a battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is non-positive, an efficiency is outside
+    /// `(0, 1]`, the OCV curve has fewer than two knots or is not
+    /// SoC-ascending, or a C-rate is non-positive (for non-rechargeable
+    /// cells pass [`StorageKind::LiPrimary`], whose kind refuses charge,
+    /// rather than a zero charge rate).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        kind: StorageKind,
+        capacity: Joules,
+        ocv_curve: Vec<(f64, f64)>,
+        eta_charge: f64,
+        eta_discharge: f64,
+        self_discharge_month: f64,
+        c_rate_charge: f64,
+        c_rate_discharge: f64,
+    ) -> Self {
+        assert!(capacity.value() > 0.0, "capacity must be positive");
+        assert!(
+            (0.0..=1.0).contains(&eta_charge)
+                && eta_charge > 0.0
+                && (0.0..=1.0).contains(&eta_discharge)
+                && eta_discharge > 0.0,
+            "efficiencies must be in (0, 1]"
+        );
+        assert!(ocv_curve.len() >= 2, "OCV curve needs at least two knots");
+        assert!(
+            ocv_curve.windows(2).all(|w| w[0].0 < w[1].0),
+            "OCV curve knots must be SoC-ascending"
+        );
+        assert!(
+            (0.0..1.0).contains(&self_discharge_month),
+            "self-discharge must be a fraction below 1"
+        );
+        assert!(
+            c_rate_charge > 0.0 && c_rate_discharge > 0.0,
+            "C-rates must be positive"
+        );
+        Self {
+            name: name.into(),
+            kind,
+            capacity,
+            ocv_curve,
+            eta_charge,
+            eta_discharge,
+            self_discharge_month,
+            c_rate_charge,
+            c_rate_discharge,
+            energy: Joules::ZERO,
+            losses: Joules::ZERO,
+            throughput: Joules::ZERO,
+        }
+    }
+
+    /// A 400 mAh lithium-polymer cell (System A's rechargeable store).
+    pub fn lipo_400mah() -> Self {
+        Self::new(
+            "400 mAh LiPo cell",
+            StorageKind::LiIon,
+            Joules::from_milliamp_hours(400.0, Volts::new(3.7)),
+            vec![(0.0, 3.0), (0.1, 3.55), (0.5, 3.7), (0.9, 4.0), (1.0, 4.2)],
+            0.95,
+            0.97,
+            0.03,
+            0.5,
+            1.0,
+        )
+    }
+
+    /// A pair of AA NiMH cells in series (the MPWiNode / Plug-and-Play
+    /// store): 2000 mAh at 2.4 V nominal, high self-discharge.
+    pub fn nimh_aa_pair() -> Self {
+        Self::new(
+            "2×AA NiMH pack",
+            StorageKind::NiMh,
+            Joules::from_milliamp_hours(2000.0, Volts::new(2.4)),
+            vec![(0.0, 2.0), (0.1, 2.3), (0.5, 2.45), (0.9, 2.6), (1.0, 2.9)],
+            0.85,
+            0.95,
+            0.20,
+            0.3,
+            1.0,
+        )
+    }
+
+    /// A Cymbet EnerChip-class thin-film solid-state cell: 50 µAh at
+    /// 3.7 V nominal, very low leakage, high cycle life.
+    pub fn thin_film_50uah() -> Self {
+        Self::new(
+            "50 µAh thin-film cell",
+            StorageKind::ThinFilm,
+            Joules::from_milliamp_hours(0.05, Volts::new(3.7)),
+            vec![(0.0, 3.0), (0.5, 3.7), (1.0, 4.1)],
+            0.90,
+            0.95,
+            0.025,
+            2.0,
+            4.0,
+        )
+    }
+
+    /// A non-rechargeable lithium primary AA (System B's backup store):
+    /// 2400 mAh at 3.6 V, negligible self-discharge.
+    pub fn li_primary_aa() -> Self {
+        let mut cell = Self::new(
+            "AA lithium primary",
+            StorageKind::LiPrimary,
+            Joules::from_milliamp_hours(2400.0, Volts::new(3.6)),
+            vec![(0.0, 3.0), (0.2, 3.5), (1.0, 3.65)],
+            1.0,
+            0.98,
+            0.001,
+            1.0, // never used: primaries refuse charge
+            0.5,
+        );
+        cell.energy = cell.capacity; // primaries ship full
+        cell
+    }
+
+    /// Sets the state of charge as a fraction of capacity (clamped).
+    pub fn set_soc(&mut self, soc: f64) {
+        self.energy = self.capacity * soc.clamp(0.0, 1.0);
+    }
+
+    /// Equivalent full charge/discharge cycles seen so far
+    /// (throughput / 2·capacity).
+    pub fn equivalent_full_cycles(&self) -> f64 {
+        self.throughput.value() / (2.0 * self.capacity.value())
+    }
+
+    fn ocv_at(&self, soc: f64) -> Volts {
+        let soc = soc.clamp(0.0, 1.0);
+        let first = self.ocv_curve[0];
+        if soc <= first.0 {
+            return Volts::new(first.1);
+        }
+        for pair in self.ocv_curve.windows(2) {
+            let (s0, v0) = pair[0];
+            let (s1, v1) = pair[1];
+            if soc <= s1 {
+                return Volts::new(v0 + (v1 - v0) * (soc - s0) / (s1 - s0));
+            }
+        }
+        Volts::new(self.ocv_curve.last().expect("non-empty curve").1)
+    }
+}
+
+impl Storage for Battery {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    fn voltage(&self) -> Volts {
+        self.ocv_at(self.soc().value())
+    }
+
+    fn stored_energy(&self) -> Joules {
+        self.energy
+    }
+
+    fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    fn min_voltage(&self) -> Volts {
+        self.ocv_at(0.0)
+    }
+
+    fn max_voltage(&self) -> Volts {
+        self.ocv_at(1.0)
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        if !self.kind.is_rechargeable() || self.energy >= self.capacity {
+            return Watts::ZERO;
+        }
+        Watts::new(self.c_rate_charge * self.capacity.value() / 3600.0)
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        if self.energy.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        Watts::new(self.c_rate_discharge * self.capacity.value() / 3600.0)
+    }
+
+    fn charge(&mut self, power: Watts, dt: Seconds) -> Joules {
+        let p = power.min(self.max_charge_power()).max(Watts::ZERO);
+        if p.value() == 0.0 || dt.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let gross = p * dt;
+        let mut net = gross * self.eta_charge;
+        let headroom = self.capacity - self.energy;
+        let mut taken = gross;
+        if net > headroom {
+            net = headroom;
+            taken = net / self.eta_charge;
+        }
+        self.energy += net;
+        self.losses += taken - net;
+        self.throughput += net;
+        taken
+    }
+
+    fn discharge(&mut self, power: Watts, dt: Seconds) -> Joules {
+        let p = power.min(self.max_discharge_power()).max(Watts::ZERO);
+        if p.value() == 0.0 || dt.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let mut internal = (p * dt) / self.eta_discharge;
+        if internal > self.energy {
+            internal = self.energy;
+        }
+        let delivered = internal * self.eta_discharge;
+        self.energy -= internal;
+        self.losses += internal - delivered;
+        self.throughput += internal;
+        delivered
+    }
+
+    fn idle(&mut self, dt: Seconds) {
+        if dt.value() <= 0.0 || self.energy.value() <= 0.0 {
+            return;
+        }
+        // Exponential self-discharge with the per-month rate.
+        let months = dt.value() / (30.0 * 86_400.0);
+        let keep = (1.0 - self.self_discharge_month).powf(months);
+        let remaining = self.energy * keep;
+        self.losses += self.energy - remaining;
+        self.energy = remaining;
+    }
+
+    fn losses(&self) -> Joules {
+        self.losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ocv_tracks_soc() {
+        let mut b = Battery::lipo_400mah();
+        assert!((b.voltage().value() - 3.0).abs() < 1e-9); // empty
+        b.set_soc(0.5);
+        assert!((b.voltage().value() - 3.7).abs() < 1e-9);
+        b.set_soc(1.0);
+        assert!((b.voltage().value() - 4.2).abs() < 1e-9);
+        b.set_soc(0.95);
+        let v = b.voltage().value();
+        assert!((4.0..4.2).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn charge_respects_c_rate_and_capacity() {
+        let mut b = Battery::lipo_400mah();
+        // 0.5 C on 5328 J = 0.74 W max.
+        let max = b.max_charge_power();
+        assert!((max.value() - 0.5 * 5328.0 / 3600.0).abs() < 1e-9);
+        // Asking for 10 W only takes max.
+        let taken = b.charge(Watts::new(10.0), Seconds::new(3600.0));
+        assert!((taken.value() - max.value() * 3600.0).abs() < 1e-6);
+        // Fill completely.
+        for _ in 0..100 {
+            b.charge(Watts::new(10.0), Seconds::new(3600.0));
+        }
+        assert!((b.soc().value() - 1.0).abs() < 1e-9);
+        assert_eq!(b.max_charge_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn primary_cell_refuses_charge_but_ships_full() {
+        let mut b = Battery::li_primary_aa();
+        assert!(!b.is_rechargeable());
+        assert_eq!(b.soc().value(), 1.0);
+        assert_eq!(b.max_charge_power(), Watts::ZERO);
+        assert_eq!(b.charge(Watts::new(1.0), Seconds::new(100.0)), Joules::ZERO);
+        let delivered = b.discharge(Watts::from_milli(10.0), Seconds::new(3600.0));
+        assert!(delivered.value() > 0.0);
+    }
+
+    #[test]
+    fn roundtrip_efficiency_matches_parameters() {
+        let mut b = Battery::lipo_400mah();
+        let taken = b.charge(Watts::from_milli(500.0), Seconds::new(1000.0));
+        let delivered = b.discharge(Watts::new(10.0), Seconds::new(100_000.0));
+        let roundtrip = delivered.value() / taken.value();
+        assert!(
+            (roundtrip - 0.95 * 0.97).abs() < 0.01,
+            "roundtrip {roundtrip}"
+        );
+    }
+
+    #[test]
+    fn conservation_with_losses() {
+        let mut b = Battery::nimh_aa_pair();
+        let taken = b.charge(Watts::new(1.0), Seconds::new(5000.0));
+        b.idle(Seconds::from_days(10.0));
+        let delivered = b.discharge(Watts::new(2.0), Seconds::new(2000.0));
+        let residual =
+            taken.value() - delivered.value() - b.losses().value() - b.stored_energy().value();
+        assert!(residual.abs() < 1e-6 * taken.value(), "residual {residual}");
+    }
+
+    #[test]
+    fn nimh_self_discharges_much_faster_than_thin_film() {
+        let mut nimh = Battery::nimh_aa_pair();
+        let mut tf = Battery::thin_film_50uah();
+        nimh.set_soc(1.0);
+        tf.set_soc(1.0);
+        nimh.idle(Seconds::from_days(30.0));
+        tf.idle(Seconds::from_days(30.0));
+        assert!((nimh.soc().value() - 0.8).abs() < 1e-6);
+        assert!(tf.soc().value() > 0.97);
+    }
+
+    #[test]
+    fn cycle_counting() {
+        let mut b = Battery::thin_film_50uah();
+        let cap = b.capacity().value();
+        // One full charge + full discharge ≈ one equivalent cycle.
+        while b.soc().value() < 0.999 {
+            b.charge(Watts::new(1.0), Seconds::new(10.0));
+        }
+        while b.stored_energy().value() > 1e-9 * cap {
+            b.discharge(Watts::new(1.0), Seconds::new(10.0));
+        }
+        let cycles = b.equivalent_full_cycles();
+        assert!((cycles - 1.0).abs() < 0.1, "cycles {cycles}");
+    }
+
+    #[test]
+    #[should_panic(expected = "SoC-ascending")]
+    fn rejects_unsorted_curve() {
+        Battery::new(
+            "bad",
+            StorageKind::LiIon,
+            Joules::new(100.0),
+            vec![(0.5, 3.7), (0.0, 3.0)],
+            0.9,
+            0.9,
+            0.01,
+            1.0,
+            1.0,
+        );
+    }
+}

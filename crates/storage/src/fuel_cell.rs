@@ -1,0 +1,265 @@
+//! Hydrogen fuel-cell backup source — System A's third energy device.
+//!
+//! The survey: "System A uses a hydrogen fuel cell which has a high energy
+//! density compared with a traditional battery and which starts to work
+//! when the stored energy coming from the environmental sources is running
+//! out." The model is therefore a *discharge-only* store with very high
+//! capacity, a power ceiling set by the stack, and a start-up delay before
+//! full output is available.
+
+use crate::kind::StorageKind;
+use crate::storage::Storage;
+use mseh_units::{Joules, Seconds, Volts, Watts};
+
+/// A PEM fuel-cell cartridge used as an energy backup.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_storage::{FuelCell, Storage};
+/// use mseh_units::{Watts, Seconds};
+///
+/// let mut fc = FuelCell::hydrogen_cartridge();
+/// // Warm the stack up, then draw.
+/// fc.discharge(Watts::from_milli(1.0), Seconds::new(120.0));
+/// let e = fc.discharge(Watts::from_milli(50.0), Seconds::new(60.0));
+/// assert!(e.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuelCell {
+    name: String,
+    /// Fuel energy remaining.
+    fuel: Joules,
+    /// Initial fuel energy.
+    capacity: Joules,
+    /// Stack output ceiling once warm.
+    max_power: Watts,
+    /// Stack conversion efficiency (fuel → electrical).
+    eta: f64,
+    /// Time to reach full output from cold.
+    startup: Seconds,
+    /// Time the stack has been running continuously.
+    run_time: Seconds,
+    /// Whether the stack ran since the last idle tick (guards cool-down).
+    ran_since_idle: bool,
+    losses: Joules,
+}
+
+impl FuelCell {
+    /// Creates a fuel cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity or power is non-positive or the efficiency is
+    /// outside `(0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: Joules,
+        max_power: Watts,
+        eta: f64,
+        startup: Seconds,
+    ) -> Self {
+        assert!(capacity.value() > 0.0, "capacity must be positive");
+        assert!(max_power.value() > 0.0, "max power must be positive");
+        assert!(eta > 0.0 && eta <= 1.0, "efficiency must be in (0, 1]");
+        assert!(startup.value() >= 0.0, "startup must be non-negative");
+        Self {
+            name: name.into(),
+            fuel: capacity,
+            capacity,
+            max_power,
+            eta,
+            startup,
+            run_time: Seconds::ZERO,
+            ran_since_idle: false,
+            losses: Joules::ZERO,
+        }
+    }
+
+    /// A small hydrogen cartridge: 20 Wh of fuel, 100 mW stack, 50 %
+    /// conversion efficiency, 60 s warm-up.
+    pub fn hydrogen_cartridge() -> Self {
+        Self::new(
+            "hydrogen fuel-cell cartridge",
+            Joules::from_watt_hours(20.0),
+            Watts::from_milli(100.0),
+            0.5,
+            Seconds::new(60.0),
+        )
+    }
+
+    /// Fraction of full output currently available (warm-up ramp).
+    pub fn warmup_fraction(&self) -> f64 {
+        if self.startup.value() == 0.0 {
+            return 1.0;
+        }
+        (self.run_time.value() / self.startup.value()).min(1.0)
+    }
+
+    /// Marks the stack as shut down (next draw restarts the warm-up).
+    pub fn shut_down(&mut self) {
+        self.run_time = Seconds::ZERO;
+        self.ran_since_idle = false;
+    }
+}
+
+impl Storage for FuelCell {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> StorageKind {
+        StorageKind::FuelCell
+    }
+
+    fn voltage(&self) -> Volts {
+        // Regulated stack output.
+        Volts::new(3.3)
+    }
+
+    fn stored_energy(&self) -> Joules {
+        // Usable electrical energy = fuel × conversion efficiency.
+        self.fuel * self.eta
+    }
+
+    fn capacity(&self) -> Joules {
+        self.capacity * self.eta
+    }
+
+    fn min_voltage(&self) -> Volts {
+        Volts::new(3.3)
+    }
+
+    fn max_voltage(&self) -> Volts {
+        Volts::new(3.3)
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        Watts::ZERO
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        if self.fuel.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        self.max_power * self.warmup_fraction()
+    }
+
+    fn charge(&mut self, _power: Watts, _dt: Seconds) -> Joules {
+        Joules::ZERO
+    }
+
+    fn discharge(&mut self, power: Watts, dt: Seconds) -> Joules {
+        if dt.value() <= 0.0 || self.fuel.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let p = power.min(self.max_discharge_power()).max(Watts::ZERO);
+        // Running the stack advances warm-up even at low draw.
+        self.run_time += dt;
+        self.ran_since_idle = true;
+        if p.value() == 0.0 {
+            return Joules::ZERO;
+        }
+        let mut fuel_used = (p * dt) / self.eta;
+        if fuel_used > self.fuel {
+            fuel_used = self.fuel;
+        }
+        // `stored_energy` already reports post-conversion electrical
+        // energy, so the stack's conversion loss is upstream of the
+        // electrical ledger and must not be double-counted in `losses`.
+        let delivered = fuel_used * self.eta;
+        self.fuel -= fuel_used;
+        delivered
+    }
+
+    fn idle(&mut self, _dt: Seconds) {
+        // Stored hydrogen does not self-discharge on simulation time
+        // scales. The kernel calls `idle` every step, including steps the
+        // stack ran in, so cool-down only triggers after a full interval
+        // with no draw.
+        if self.ran_since_idle {
+            self.ran_since_idle = false;
+        } else {
+            self.shut_down();
+        }
+    }
+
+    fn losses(&self) -> Joules {
+        self.losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discharge_only() {
+        let mut fc = FuelCell::hydrogen_cartridge();
+        assert!(!fc.is_rechargeable());
+        assert_eq!(
+            fc.charge(Watts::new(1.0), Seconds::new(100.0)),
+            Joules::ZERO
+        );
+        assert_eq!(fc.max_charge_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn warm_up_ramps_output() {
+        let mut fc = FuelCell::hydrogen_cartridge();
+        assert_eq!(fc.max_discharge_power(), Watts::ZERO); // cold
+        fc.discharge(Watts::from_milli(1.0), Seconds::new(30.0));
+        let half_warm = fc.max_discharge_power();
+        assert!((half_warm.as_milli() - 50.0).abs() < 1e-9, "{half_warm}");
+        fc.discharge(Watts::from_milli(1.0), Seconds::new(30.0));
+        assert!((fc.max_discharge_power().as_milli() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cooling_down_resets_warmup_after_a_full_idle_interval() {
+        let mut fc = FuelCell::hydrogen_cartridge();
+        fc.discharge(Watts::from_milli(1.0), Seconds::new(120.0));
+        assert_eq!(fc.warmup_fraction(), 1.0);
+        // First idle tick lands in the same interval the stack ran in:
+        // it stays warm (the kernel idles every store every step).
+        fc.idle(Seconds::from_hours(1.0));
+        assert_eq!(fc.warmup_fraction(), 1.0);
+        // A second idle tick with no intervening draw cools it down.
+        fc.idle(Seconds::from_hours(1.0));
+        assert_eq!(fc.warmup_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fuel_depletes_with_conversion_loss() {
+        let mut fc = FuelCell::hydrogen_cartridge();
+        fc.discharge(Watts::from_milli(1.0), Seconds::new(120.0)); // warm up
+        let before = fc.stored_energy();
+        let delivered = fc.discharge(Watts::from_milli(100.0), Seconds::new(3600.0));
+        assert!((delivered.value() - 360.0).abs() < 1.0, "{delivered}");
+        assert!(fc.stored_energy() < before);
+        // Fuel used = delivered / eta; electrical store drops by delivered.
+        assert!((before.value() - fc.stored_energy().value() - delivered.value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn capacity_reflects_conversion_efficiency() {
+        let fc = FuelCell::hydrogen_cartridge();
+        assert!((fc.capacity().as_watt_hours() - 10.0).abs() < 1e-9);
+        assert_eq!(fc.soc().value(), 1.0);
+    }
+
+    #[test]
+    fn exhausted_cell_is_dead() {
+        let mut fc = FuelCell::new(
+            "tiny",
+            Joules::new(10.0),
+            Watts::new(1.0),
+            0.5,
+            Seconds::ZERO,
+        );
+        let total = fc.discharge(Watts::new(1.0), Seconds::new(100.0));
+        assert!((total.value() - 5.0).abs() < 1e-9);
+        assert_eq!(fc.max_discharge_power(), Watts::ZERO);
+        assert!(fc.is_depleted());
+    }
+}

@@ -1,0 +1,93 @@
+//! Storage classification: the device classes in Table I's "Storage" row.
+
+use core::fmt;
+
+/// The storage-device class.
+///
+/// Covers every technology Table I lists: supercapacitors, Li-ion/poly and
+/// NiMH rechargeables, lithium primaries, thin-film batteries, lithium-ion
+/// capacitors (ref \[10\] of the survey), and the hydrogen fuel cell
+/// System A uses as an energy backup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum StorageKind {
+    /// Electric double-layer capacitor.
+    Supercapacitor,
+    /// Lithium-ion / lithium-polymer rechargeable cell.
+    LiIon,
+    /// Nickel–metal-hydride rechargeable cell.
+    NiMh,
+    /// Solid-state thin-film rechargeable battery (e.g. EnerChip).
+    ThinFilm,
+    /// Non-rechargeable lithium primary cell.
+    LiPrimary,
+    /// Lithium-ion capacitor (hybrid supercap/battery).
+    LithiumIonCapacitor,
+    /// Hydrogen fuel cell used as a non-rechargeable energy backup.
+    FuelCell,
+}
+
+impl StorageKind {
+    /// All storage kinds, in Table-I ordering.
+    pub const ALL: [StorageKind; 7] = [
+        StorageKind::Supercapacitor,
+        StorageKind::LiIon,
+        StorageKind::NiMh,
+        StorageKind::ThinFilm,
+        StorageKind::LiPrimary,
+        StorageKind::LithiumIonCapacitor,
+        StorageKind::FuelCell,
+    ];
+
+    /// The label the survey's Table I uses.
+    pub fn table_label(self) -> &'static str {
+        match self {
+            StorageKind::Supercapacitor => "Supercap",
+            StorageKind::LiIon => "Li-ion rech. batt.",
+            StorageKind::NiMh => "NiMH rech. batt.",
+            StorageKind::ThinFilm => "Thin-film batt.",
+            StorageKind::LiPrimary => "Li non-rech. batt.",
+            StorageKind::LithiumIonCapacitor => "Li-ion capacitor",
+            StorageKind::FuelCell => "Fuel cell",
+        }
+    }
+
+    /// Whether devices of this class accept recharge at all.
+    pub fn is_rechargeable(self) -> bool {
+        !matches!(self, StorageKind::LiPrimary | StorageKind::FuelCell)
+    }
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.table_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table_one() {
+        assert_eq!(StorageKind::Supercapacitor.to_string(), "Supercap");
+        assert_eq!(StorageKind::FuelCell.to_string(), "Fuel cell");
+        assert_eq!(StorageKind::LiPrimary.to_string(), "Li non-rech. batt.");
+    }
+
+    #[test]
+    fn rechargeability() {
+        assert!(StorageKind::Supercapacitor.is_rechargeable());
+        assert!(StorageKind::ThinFilm.is_rechargeable());
+        assert!(!StorageKind::LiPrimary.is_rechargeable());
+        assert!(!StorageKind::FuelCell.is_rechargeable());
+    }
+
+    #[test]
+    fn all_unique() {
+        let mut all = StorageKind::ALL.to_vec();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 7);
+    }
+}

@@ -1,0 +1,393 @@
+//! Supercapacitor model with voltage-dependent capacitance, ESR and
+//! voltage-dependent leakage — the model structure of Weddell et al.,
+//! "Accurate supercapacitor modeling for energy-harvesting wireless sensor
+//! nodes" (ref \[9\] of the survey). The same structure with a narrowed
+//! voltage window models the lithium-ion capacitor of ref \[10\].
+
+use crate::kind::StorageKind;
+use crate::storage::Storage;
+use mseh_units::{Farads, Joules, Ohms, Seconds, Volts, Watts};
+
+/// An electric double-layer capacitor (or lithium-ion capacitor).
+///
+/// * capacitance rises with voltage: `C(V) = C₀ + k·V` (ref \[9\] shows the
+///   constant-C model misestimates usable energy by >10 %);
+/// * equivalent series resistance dissipates `I²·R` during transfer;
+/// * leakage current scales with voltage (`V / R_leak`).
+///
+/// # Examples
+///
+/// ```
+/// use mseh_storage::{Supercap, Storage};
+/// use mseh_units::{Watts, Seconds};
+///
+/// let mut cap = Supercap::edlc_22f();
+/// let taken = cap.charge(Watts::from_milli(50.0), Seconds::from_minutes(10.0));
+/// assert!(taken.value() > 0.0);
+/// assert!(cap.voltage().value() > cap.min_voltage().value());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supercap {
+    name: String,
+    kind: StorageKind,
+    /// Base capacitance C₀.
+    c0: Farads,
+    /// Voltage-dependence slope, F/V.
+    k_v: f64,
+    /// Equivalent series resistance.
+    esr: Ohms,
+    /// Leakage resistance (leakage current = V / R_leak).
+    r_leak: Ohms,
+    /// Discharge cutoff voltage.
+    v_min: Volts,
+    /// Rated (maximum) voltage.
+    v_max: Volts,
+    /// Present terminal voltage.
+    v: Volts,
+    /// Accumulated internal dissipation.
+    losses: Joules,
+}
+
+impl Supercap {
+    /// Creates a supercapacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the voltage window is inverted, the capacitance is
+    /// non-positive, or a resistance is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        c0: Farads,
+        k_v: f64,
+        esr: Ohms,
+        r_leak: Ohms,
+        v_min: Volts,
+        v_max: Volts,
+    ) -> Self {
+        assert!(c0.value() > 0.0, "capacitance must be positive");
+        assert!(k_v >= 0.0, "capacitance slope must be non-negative");
+        assert!(
+            esr.value() > 0.0 && r_leak.value() > 0.0,
+            "resistances must be positive"
+        );
+        assert!(
+            v_max.value() > v_min.value() && v_min.value() >= 0.0,
+            "voltage window must satisfy 0 <= v_min < v_max"
+        );
+        Self {
+            name: name.into(),
+            kind: StorageKind::Supercapacitor,
+            c0,
+            k_v,
+            esr,
+            r_leak,
+            v_min,
+            v_max,
+            v: v_min,
+            losses: Joules::ZERO,
+        }
+    }
+
+    /// A 22 F / 2.7 V EDLC with 60 mΩ ESR — the buffer class AmbiMax and
+    /// the Plug-and-Play architecture use.
+    pub fn edlc_22f() -> Self {
+        Self::new(
+            "22 F / 2.7 V EDLC",
+            Farads::new(22.0),
+            1.5,
+            Ohms::from_milli(60.0),
+            Ohms::from_kilo(15.0),
+            Volts::new(0.8),
+            Volts::new(2.7),
+        )
+    }
+
+    /// A small 1 F / 5.5 V dual-cell EDLC (output-buffer scale).
+    pub fn edlc_1f() -> Self {
+        Self::new(
+            "1 F / 5.5 V EDLC",
+            Farads::new(1.0),
+            0.05,
+            Ohms::from_milli(200.0),
+            Ohms::from_kilo(50.0),
+            Volts::new(1.0),
+            Volts::new(5.5),
+        )
+    }
+
+    /// A 40 F lithium-ion capacitor, 2.2–3.8 V window (ref \[10\]): hybrid
+    /// energy density with capacitor-like cycling.
+    pub fn lithium_ion_capacitor_40f() -> Self {
+        let mut cap = Self::new(
+            "40 F lithium-ion capacitor",
+            Farads::new(40.0),
+            0.8,
+            Ohms::from_milli(50.0),
+            Ohms::from_kilo(100.0),
+            Volts::new(2.2),
+            Volts::new(3.8),
+        );
+        cap.kind = StorageKind::LithiumIonCapacitor;
+        cap
+    }
+
+    /// Capacitance at voltage `v`.
+    pub fn capacitance_at(&self, v: Volts) -> Farads {
+        Farads::new(self.c0.value() + self.k_v * v.value())
+    }
+
+    /// Usable energy between `v_min` and `v`:
+    /// `∫ C(u)·u du = C₀(v²−v_min²)/2 + k(v³−v_min³)/3`.
+    fn energy_between(&self, lo: Volts, hi: Volts) -> Joules {
+        let (a, b) = (lo.value(), hi.value());
+        Joules::new(
+            self.c0.value() * (b * b - a * a) / 2.0 + self.k_v * (b * b * b - a * a * a) / 3.0,
+        )
+    }
+
+    /// Inverts the energy integral: the voltage at which the usable energy
+    /// above `v_min` equals `e` (bisection; the integral is monotone).
+    fn voltage_for_energy(&self, e: Joules) -> Volts {
+        if e.value() <= 0.0 {
+            return self.v_min;
+        }
+        let (mut lo, mut hi) = (self.v_min.value(), self.v_max.value());
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.energy_between(self.v_min, Volts::new(mid)).value() < e.value() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Volts::new(0.5 * (lo + hi))
+    }
+
+    /// Fraction of transferred power lost in the ESR at the present
+    /// voltage, for a transfer at power `p`.
+    fn esr_loss_ratio(&self, p: Watts) -> f64 {
+        let v_eff = self.v.value().max(0.2);
+        let i = p.value() / v_eff;
+        (i * self.esr.value() / v_eff).min(0.5)
+    }
+
+    /// Sets the state of charge directly (clamped to the voltage window) —
+    /// for initializing scenarios.
+    pub fn set_voltage(&mut self, v: Volts) {
+        self.v = v.clamp(self.v_min, self.v_max);
+    }
+}
+
+impl Storage for Supercap {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    fn voltage(&self) -> Volts {
+        self.v
+    }
+
+    fn stored_energy(&self) -> Joules {
+        self.energy_between(self.v_min, self.v)
+    }
+
+    fn capacity(&self) -> Joules {
+        self.energy_between(self.v_min, self.v_max)
+    }
+
+    fn min_voltage(&self) -> Volts {
+        self.v_min
+    }
+
+    fn max_voltage(&self) -> Volts {
+        self.v_max
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        if self.v >= self.v_max {
+            return Watts::ZERO;
+        }
+        // Current limit set by ESR heating: allow up to 2 A-equivalent
+        // scaled by capacitance (small caps accept less).
+        let i_max = (self.c0.value() / 10.0).clamp(0.05, 2.0);
+        Volts::new(self.v.value().max(0.2)) * mseh_units::Amps::new(i_max)
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        if self.stored_energy().value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        let i_max = (self.c0.value() / 10.0).clamp(0.05, 2.0);
+        self.v * mseh_units::Amps::new(i_max)
+    }
+
+    fn charge(&mut self, power: Watts, dt: Seconds) -> Joules {
+        let p = power.min(self.max_charge_power()).max(Watts::ZERO);
+        if p.value() == 0.0 || dt.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let ratio = self.esr_loss_ratio(p);
+        let gross = p * dt;
+        let mut net = gross * (1.0 - ratio);
+        let headroom = self.energy_between(self.v, self.v_max);
+        let mut taken = gross;
+        if net > headroom {
+            net = headroom;
+            taken = net / (1.0 - ratio);
+        }
+        let stored = self.stored_energy() + net;
+        self.v = self.voltage_for_energy(stored);
+        self.losses += taken - net;
+        taken
+    }
+
+    fn discharge(&mut self, power: Watts, dt: Seconds) -> Joules {
+        let p = power.min(self.max_discharge_power()).max(Watts::ZERO);
+        if p.value() == 0.0 || dt.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        let ratio = self.esr_loss_ratio(p);
+        let mut internal = (p * dt) / (1.0 - ratio);
+        let available = self.stored_energy();
+        if internal > available {
+            internal = available;
+        }
+        let delivered = internal * (1.0 - ratio);
+        self.v = self.voltage_for_energy(available - internal);
+        self.losses += internal - delivered;
+        delivered
+    }
+
+    fn idle(&mut self, dt: Seconds) {
+        if dt.value() <= 0.0 {
+            return;
+        }
+        // Leakage power V²/R_leak, integrated quasi-statically.
+        let leak = self.v.power_into(self.r_leak) * dt;
+        let remaining = (self.stored_energy() - leak).max(Joules::ZERO);
+        let actually_leaked = self.stored_energy() - remaining;
+        self.v = self.voltage_for_energy(remaining);
+        self.losses += actually_leaked;
+    }
+
+    fn losses(&self) -> Joules {
+        self.losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_at_cutoff() {
+        let cap = Supercap::edlc_22f();
+        assert_eq!(cap.voltage(), Volts::new(0.8));
+        assert_eq!(cap.stored_energy(), Joules::ZERO);
+        assert!(cap.is_depleted());
+        assert!(cap.capacity().value() > 50.0); // 22 F window holds >50 J
+    }
+
+    #[test]
+    fn charge_raises_voltage_and_respects_ceiling() {
+        let mut cap = Supercap::edlc_22f();
+        // Pump far more than capacity.
+        for _ in 0..200 {
+            cap.charge(Watts::new(2.0), Seconds::new(60.0));
+        }
+        assert!((cap.voltage() - cap.max_voltage()).abs().value() < 1e-3);
+        let e = cap.stored_energy();
+        assert!((e - cap.capacity()).abs().value() < 1e-3 * cap.capacity().value());
+        // Full cap refuses further charge.
+        assert_eq!(cap.max_charge_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn discharge_returns_energy_and_respects_floor() {
+        let mut cap = Supercap::edlc_22f();
+        cap.set_voltage(Volts::new(2.5));
+        let before = cap.stored_energy();
+        let delivered = cap.discharge(Watts::new(1.0), Seconds::new(10.0));
+        assert!(delivered.value() > 0.0);
+        assert!(cap.stored_energy() < before);
+        // Draining far beyond the content stops at the cutoff.
+        for _ in 0..10_000 {
+            cap.discharge(Watts::new(2.0), Seconds::new(60.0));
+        }
+        assert!(cap.voltage() >= cap.min_voltage());
+        assert!(cap.stored_energy().value() >= 0.0);
+    }
+
+    #[test]
+    fn roundtrip_loses_energy_in_esr() {
+        let mut cap = Supercap::edlc_22f();
+        let taken = cap.charge(Watts::new(1.0), Seconds::new(100.0));
+        let delivered = cap.discharge(Watts::new(1.0), Seconds::new(1000.0));
+        assert!(delivered < taken, "{delivered} vs {taken}");
+        assert!(cap.losses().value() > 0.0);
+        // Conservation: taken = delivered + losses + remaining.
+        let residual =
+            taken.value() - delivered.value() - cap.losses().value() - cap.stored_energy().value();
+        assert!(residual.abs() < 1e-6 * taken.value(), "residual {residual}");
+    }
+
+    #[test]
+    fn leakage_drains_idle_cap() {
+        let mut cap = Supercap::edlc_22f();
+        cap.set_voltage(Volts::new(2.5));
+        let before = cap.stored_energy();
+        cap.idle(Seconds::from_hours(24.0));
+        let after = cap.stored_energy();
+        assert!(after < before);
+        // 2.5 V across 15 kΩ ≈ 0.42 mW ⇒ ~36 J/day; cap holds ~60 J.
+        let leaked = (before - after).value();
+        assert!((10.0..40.0).contains(&leaked), "leaked {leaked}");
+    }
+
+    #[test]
+    fn voltage_dependent_capacitance() {
+        let cap = Supercap::edlc_22f();
+        let c_low = cap.capacitance_at(Volts::new(1.0));
+        let c_high = cap.capacitance_at(Volts::new(2.5));
+        assert!(c_high.value() > c_low.value());
+        assert!((c_high.value() - (22.0 + 1.5 * 2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lic_has_narrow_window_and_kind() {
+        let lic = Supercap::lithium_ion_capacitor_40f();
+        assert_eq!(lic.kind(), StorageKind::LithiumIonCapacitor);
+        assert_eq!(lic.min_voltage(), Volts::new(2.2));
+        assert_eq!(lic.max_voltage(), Volts::new(3.8));
+        assert!(lic.is_rechargeable());
+    }
+
+    #[test]
+    fn energy_voltage_inversion_consistent() {
+        let cap = Supercap::edlc_22f();
+        for i in 0..20 {
+            let v = Volts::new(0.8 + i as f64 * 0.095);
+            let e = cap.energy_between(cap.v_min, v);
+            let back = cap.voltage_for_energy(e);
+            assert!((back - v).abs().value() < 1e-6, "{back} vs {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage window")]
+    fn rejects_inverted_window() {
+        Supercap::new(
+            "bad",
+            Farads::new(1.0),
+            0.0,
+            Ohms::new(0.1),
+            Ohms::new(1000.0),
+            Volts::new(3.0),
+            Volts::new(2.0),
+        );
+    }
+}

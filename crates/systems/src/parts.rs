@@ -1,0 +1,254 @@
+//! Shared component constructors for the seven platform models.
+//!
+//! Each platform's Table-I quiescent figure is the sum of its channel,
+//! supervisor and output-stage standing draws, so the builders here take
+//! explicit quiescent budgets; the per-system modules allocate their
+//! budget to land on the paper's microamp figures (checked in tests).
+
+use mseh_harvesters::{
+    AcDcInput, FlowTurbine, PvModule, Rectenna, Teg, Transducer, VibrationHarvester,
+};
+use mseh_power::{
+    DcDcConverter, DiodeStage, EfficiencyCurve, FixedPoint, FractionalVoc, IdealDiode,
+    InputChannel, LinearRegulator, OperatingPointController, PerturbObserve, PowerStage, Topology,
+};
+use mseh_units::{Amps, Volts, Watts};
+
+/// The tracking scheme a channel uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tracking {
+    /// Digital perturb-and-observe (System A's MPPT).
+    PerturbObserve,
+    /// Fractional open-circuit voltage (AmbiMax-style analog MPPT).
+    FractionalVocPv,
+    /// Fractional Voc tuned for Thevenin-like sources.
+    FractionalVocThevenin,
+    /// Fixed operating point (System B's module compromise).
+    Fixed(Volts),
+}
+
+impl Tracking {
+    fn controller(self) -> Box<dyn OperatingPointController> {
+        match self {
+            Tracking::PerturbObserve => Box::new(PerturbObserve::new()),
+            Tracking::FractionalVocPv => Box::new(FractionalVoc::pv_standard()),
+            Tracking::FractionalVocThevenin => Box::new(FractionalVoc::thevenin_standard()),
+            Tracking::Fixed(v) => Box::new(FixedPoint::new(v)),
+        }
+    }
+}
+
+/// The input-protection style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// Passive Schottky diode: free but lossy.
+    Schottky,
+    /// Active ideal diode: near-lossless, ~1 µW housekeeping.
+    IdealDiode,
+}
+
+impl Protection {
+    fn stage(self) -> Box<dyn PowerStage> {
+        match self {
+            Protection::Schottky => Box::new(DiodeStage::schottky_single()),
+            Protection::IdealDiode => Box::new(IdealDiode::nanopower()),
+        }
+    }
+}
+
+/// A front-end converter with an explicit quiescent budget.
+pub fn front_end(name: &str, bus: Volts, quiescent: Watts, rated: Watts) -> DcDcConverter {
+    DcDcConverter::new(
+        name.to_owned(),
+        Topology::BuckBoost,
+        Volts::new(0.25),
+        Volts::new(20.0),
+        bus,
+        EfficiencyCurve::switching_premium(),
+        rated,
+        quiescent,
+    )
+}
+
+/// An output buck-boost with an explicit quiescent budget.
+pub fn output_buck_boost(bus: Volts, quiescent: Watts) -> DcDcConverter {
+    DcDcConverter::new(
+        format!("{:.1} V output buck-boost", bus.value()),
+        Topology::BuckBoost,
+        Volts::new(0.5),
+        Volts::new(5.5),
+        bus,
+        EfficiencyCurve::switching_small(),
+        Watts::from_milli(300.0),
+        quiescent,
+    )
+}
+
+/// An output LDO with an explicit quiescent current.
+pub fn output_ldo(v_out: Volts, quiescent_current: Amps) -> LinearRegulator {
+    LinearRegulator::new(
+        format!("{:.1} V output LDO", v_out.value()),
+        v_out,
+        Volts::from_milli(150.0),
+        Volts::new(6.0),
+        quiescent_current,
+        Amps::from_milli(150.0),
+    )
+}
+
+/// Builds one input channel for the given harvester.
+pub fn channel(
+    harvester: Box<dyn Transducer>,
+    tracking: Tracking,
+    protection: Protection,
+    converter: DcDcConverter,
+) -> InputChannel {
+    InputChannel::new(
+        harvester,
+        tracking.controller(),
+        protection.stage(),
+        Box::new(converter),
+    )
+}
+
+/// The stock harvesters the platform models attach, by shorthand.
+pub mod harvesters {
+    use super::*;
+
+    /// A 2 W outdoor panel (System A's main input).
+    pub fn pv_large() -> Box<dyn Transducer> {
+        Box::new(PvModule::outdoor_panel_two_watt())
+    }
+
+    /// A 0.5 W outdoor panel.
+    pub fn pv_small() -> Box<dyn Transducer> {
+        Box::new(PvModule::outdoor_panel_half_watt())
+    }
+
+    /// An amorphous indoor cell (Systems B/E/F light input).
+    pub fn pv_indoor() -> Box<dyn Transducer> {
+        Box::new(PvModule::amorphous_indoor())
+    }
+
+    /// A micro wind turbine.
+    pub fn wind() -> Box<dyn Transducer> {
+        Box::new(FlowTurbine::micro_wind())
+    }
+
+    /// A micro hydro generator (System D's water-flow input).
+    pub fn hydro() -> Box<dyn Transducer> {
+        Box::new(FlowTurbine::micro_hydro())
+    }
+
+    /// A 40 mm TEG.
+    pub fn teg() -> Box<dyn Transducer> {
+        Box::new(Teg::module_40mm())
+    }
+
+    /// A PZT cantilever.
+    pub fn piezo() -> Box<dyn Transducer> {
+        Box::new(VibrationHarvester::piezo_cantilever())
+    }
+
+    /// An electromagnetic (inductive) vibration generator.
+    pub fn electromagnetic() -> Box<dyn Transducer> {
+        Box::new(VibrationHarvester::electromagnetic())
+    }
+
+    /// A 915 MHz rectenna.
+    pub fn rectenna() -> Box<dyn Transducer> {
+        Box::new(Rectenna::rectenna_915mhz())
+    }
+
+    /// A 12 V external AC/DC input (System G).
+    pub fn acdc() -> Box<dyn Transducer> {
+        Box::new(AcDcInput::bench_supply_12v())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_end_honours_quiescent_budget() {
+        let c = front_end(
+            "test",
+            Volts::new(4.1),
+            Watts::from_micro(2.5),
+            Watts::from_milli(100.0),
+        );
+        assert_eq!(c.quiescent(), Watts::from_micro(2.5));
+        assert_eq!(c.output_voltage(), Volts::new(4.1));
+        assert!(c.accepts_input_voltage(Volts::new(12.0)));
+    }
+
+    #[test]
+    fn tracking_variants_build() {
+        for t in [
+            Tracking::PerturbObserve,
+            Tracking::FractionalVocPv,
+            Tracking::FractionalVocThevenin,
+            Tracking::Fixed(Volts::new(2.0)),
+        ] {
+            let ch = channel(
+                harvesters::pv_small(),
+                t,
+                Protection::Schottky,
+                front_end(
+                    "fe",
+                    Volts::new(5.0),
+                    Watts::from_micro(1.0),
+                    Watts::from_milli(100.0),
+                ),
+            );
+            assert!(ch.idle_overhead().value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn protection_quiescent_differs() {
+        let passive = channel(
+            harvesters::pv_small(),
+            Tracking::FractionalVocPv,
+            Protection::Schottky,
+            front_end(
+                "fe",
+                Volts::new(5.0),
+                Watts::from_micro(1.0),
+                Watts::from_milli(100.0),
+            ),
+        );
+        let active = channel(
+            harvesters::pv_small(),
+            Tracking::FractionalVocPv,
+            Protection::IdealDiode,
+            front_end(
+                "fe",
+                Volts::new(5.0),
+                Watts::from_micro(1.0),
+                Watts::from_milli(100.0),
+            ),
+        );
+        assert!(active.idle_overhead() > passive.idle_overhead());
+    }
+
+    #[test]
+    fn harvester_shorthands_cover_all_kinds() {
+        use mseh_harvesters::HarvesterKind;
+        let kinds: Vec<HarvesterKind> = [
+            harvesters::pv_large(),
+            harvesters::wind(),
+            harvesters::hydro(),
+            harvesters::teg(),
+            harvesters::piezo(),
+            harvesters::electromagnetic(),
+            harvesters::rectenna(),
+            harvesters::acdc(),
+        ]
+        .iter()
+        .map(|h| h.kind())
+        .collect();
+        assert_eq!(kinds.len(), 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Prometheus — the survey's historical counter-example.
+//!
+//! "In contrast with early single-source systems like Prometheus \[2\],
+//! which are designed for fixed energy devices, some reported systems
+//! provide the facility to connect a range of different energy devices."
+//! This module models that baseline: a single soldered PV input, a fixed
+//! supercap + NiMH chain, no monitoring, no interface — the design point
+//! every multi-source architecture in Table I improves on. It is not a
+//! Table-I column, but it anchors the exchangeability axis at `Fixed`
+//! and gives the experiments a pre-multi-source baseline.
+
+use crate::parts::{self, harvesters, Protection, Tracking};
+use mseh_core::{PortRequirement, PowerUnit, StoreRole, Supervisor};
+use mseh_harvesters::HarvesterKind;
+use mseh_storage::{Battery, Supercap};
+use mseh_units::{Volts, Watts};
+
+/// The platform's display name.
+pub const NAME: &str = "Prometheus (single-source baseline)";
+
+/// Builds the Prometheus-style baseline.
+pub fn build() -> PowerUnit {
+    let pv = parts::channel(
+        harvesters::pv_small(),
+        // Prometheus predates MPPT front-ends: direct fixed-point charge.
+        Tracking::Fixed(Volts::new(3.3)),
+        Protection::Schottky,
+        parts::front_end(
+            "PV charger",
+            Volts::new(4.0),
+            Watts::from_micro(2.0),
+            Watts::from_milli(300.0),
+        ),
+    );
+    let mut cap = Supercap::edlc_22f();
+    cap.set_voltage(Volts::new(1.8));
+    let mut nimh = Battery::nimh_aa_pair();
+    nimh.set_soc(0.6);
+
+    PowerUnit::builder(NAME)
+        .harvester_port(
+            PortRequirement::harvester_port(
+                "PV (soldered)",
+                Volts::ZERO,
+                Volts::new(7.0),
+                vec![HarvesterKind::Photovoltaic],
+            ),
+            Some(pv),
+            false,
+        )
+        .store_port(
+            PortRequirement::any_in_window("supercap (soldered)", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(cap)),
+            StoreRole::PrimaryBuffer,
+            false,
+        )
+        .store_port(
+            PortRequirement::any_in_window("NiMH (soldered)", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(nimh)),
+            StoreRole::SecondaryBuffer,
+            false,
+        )
+        .supervisor(Supervisor::none())
+        .output_stage(Box::new(parts::output_buck_boost(
+            Volts::new(3.0),
+            Watts::from_micro(6.0),
+        )))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mseh_core::{classify, Exchangeability};
+    use mseh_env::Environment;
+    use mseh_node::{FixedDuty, SensorNode};
+    use mseh_sim::{run_simulation, SimConfig};
+    use mseh_units::{DutyCycle, Seconds};
+
+    #[test]
+    fn anchors_the_fixed_end_of_the_exchangeability_axis() {
+        let r = classify(&build());
+        assert_eq!(r.exchangeability(), Exchangeability::Fixed);
+        assert_eq!(r.n_harvesters, 1);
+        assert_eq!(r.swappable_harvesters, 0);
+        assert_eq!(r.swappable_storage, 0);
+        assert!(!r.digital_interface);
+        assert_eq!(
+            r.energy_monitoring,
+            mseh_node::MonitoringLevel::None
+        );
+    }
+
+    #[test]
+    fn single_source_baseline_underperforms_system_a() {
+        // The comparison the survey's whole argument rests on: in the
+        // same outdoor fortnight, the multi-source SPU out-harvests the
+        // single-source baseline by a wide margin.
+        let env = Environment::outdoor_temperate(55);
+        let node = SensorNode::milliwatt_class();
+        let run = |mut unit: PowerUnit| {
+            run_simulation(
+                &mut unit,
+                &env,
+                &node,
+                &mut FixedDuty::new(DutyCycle::saturating(0.05)),
+                SimConfig::over(Seconds::from_days(3.0)),
+            )
+        };
+        let baseline = run(build());
+        let spu = run(crate::system_a::build());
+        assert!(
+            spu.harvested.value() > 3.0 * baseline.harvested.value(),
+            "SPU {} vs Prometheus {}",
+            spu.harvested,
+            baseline.harvested
+        );
+    }
+
+    #[test]
+    fn field_swaps_are_impossible() {
+        let mut unit = build();
+        unit.detach_harvester(0);
+        let replacement = parts::channel(
+            harvesters::pv_small(),
+            Tracking::Fixed(Volts::new(3.3)),
+            Protection::Schottky,
+            parts::front_end(
+                "x",
+                Volts::new(4.0),
+                Watts::from_micro(2.0),
+                Watts::from_milli(100.0),
+            ),
+        );
+        assert!(unit
+            .attach_harvester(0, replacement, Volts::new(6.0), None)
+            .is_err());
+    }
+}

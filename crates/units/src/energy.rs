@@ -1,0 +1,68 @@
+//! Energy quantities.
+
+quantity!(
+    /// Energy in joules.
+    ///
+    /// Conversions to the watt-hour family common in battery datasheets are
+    /// provided (`1 Wh = 3600 J`):
+    ///
+    /// ```
+    /// use mseh_units::Joules;
+    /// let e = Joules::from_watt_hours(2.0);
+    /// assert_eq!(e.value(), 7200.0);
+    /// assert_eq!(e.as_watt_hours(), 2.0);
+    /// ```
+    Joules,
+    "J"
+);
+
+impl Joules {
+    /// Joules per watt-hour.
+    pub const PER_WATT_HOUR: f64 = 3600.0;
+
+    /// Creates an energy from watt-hours.
+    #[inline]
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Self::new(wh * Self::PER_WATT_HOUR)
+    }
+
+    /// Creates an energy from milliamp-hours at a nominal voltage
+    /// (the conventional battery-capacity rating).
+    ///
+    /// ```
+    /// use mseh_units::{Joules, Volts};
+    /// // A 1000 mAh cell at 3.7 V nominal holds 3.7 Wh = 13 320 J.
+    /// let e = Joules::from_milliamp_hours(1000.0, Volts::new(3.7));
+    /// assert_eq!(e.value(), 13_320.0);
+    /// ```
+    #[inline]
+    pub fn from_milliamp_hours(mah: f64, nominal: crate::Volts) -> Self {
+        Self::new(mah * 1e-3 * 3600.0 * nominal.value())
+    }
+
+    /// Returns the energy expressed in watt-hours.
+    #[inline]
+    pub fn as_watt_hours(self) -> f64 {
+        self.value() / Self::PER_WATT_HOUR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Volts;
+
+    #[test]
+    fn watt_hour_roundtrip() {
+        let e = Joules::from_watt_hours(1.25);
+        assert_eq!(e.value(), 4500.0);
+        assert_eq!(e.as_watt_hours(), 1.25);
+    }
+
+    #[test]
+    fn milliamp_hours_at_nominal_voltage() {
+        let e = Joules::from_milliamp_hours(2500.0, Volts::new(1.2));
+        // 2.5 Ah × 1.2 V = 3 Wh = 10 800 J.
+        assert!((e.value() - 10_800.0).abs() < 1e-9);
+    }
+}

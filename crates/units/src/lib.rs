@@ -1,0 +1,61 @@
+//! Typed physical quantities for energy-harvesting system models.
+//!
+//! Every quantity that crosses a module boundary in the `mseh` workspace is a
+//! newtype over `f64` (volts, amps, watts, joules, …) so that the compiler
+//! rules out unit-confusion bugs: a [`Volts`] cannot be passed where
+//! [`Watts`] is expected, and multiplying a [`Volts`] by an [`Amps`] yields a
+//! [`Watts`] rather than a bare number.
+//!
+//! The arithmetic implemented between quantities follows the underlying
+//! physics:
+//!
+//! * `Volts * Amps = Watts`, `Watts / Volts = Amps`, `Volts / Ohms = Amps`
+//! * `Watts * Seconds = Joules`, `Joules / Seconds = Watts`
+//! * `Amps * Seconds = Coulombs`, `Farads * Volts = Coulombs`
+//!
+//! Same-unit addition/subtraction, scaling by `f64`, and a unit-cancelling
+//! division (`Watts / Watts = f64`) are provided for every quantity.
+//!
+//! # Examples
+//!
+//! ```
+//! use mseh_units::{Volts, Amps, Watts, Seconds, Joules};
+//!
+//! let bus = Volts::new(3.3);
+//! let draw = Amps::from_milli(1.5);
+//! let power: Watts = bus * draw;
+//! assert!((power.value() - 0.00495).abs() < 1e-12);
+//!
+//! let energy: Joules = power * Seconds::new(60.0);
+//! assert!((energy.value() - 0.297).abs() < 1e-12);
+//! ```
+//!
+//! Formatting uses engineering SI prefixes, which keeps logs and generated
+//! tables readable at the µA–mW scales typical of harvesting systems:
+//!
+//! ```
+//! use mseh_units::Amps;
+//! assert_eq!(Amps::from_micro(5.0).to_string(), "5.000 µA");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod quantity;
+
+mod electrical;
+mod energy;
+mod environment;
+mod ratio;
+mod si;
+mod time;
+
+pub use electrical::{Amps, Coulombs, Farads, Ohms, Volts, Watts};
+pub use energy::Joules;
+pub use environment::{
+    Celsius, GAccel, Irradiance, KelvinDiff, Lux, MetersPerSecond, Rpm, WattsPerSqM,
+};
+pub use ratio::{DutyCycle, Efficiency, Ratio, UnitRangeError};
+pub use si::format_si;
+pub use time::{Hertz, Seconds};

@@ -1,0 +1,340 @@
+//! The [`quantity!`] macro that stamps out one strongly-typed scalar
+//! quantity, with the full complement of same-unit arithmetic, ordering
+//! helpers, SI-prefixed formatting and iterator summation.
+
+/// Defines a newtype quantity over `f64`.
+///
+/// The generated type implements:
+///
+/// * constructors `new`, constants `ZERO`,
+/// * accessor `value`, helpers `abs`, `min`, `max`, `clamp`,
+///   `is_finite`, `is_sign_negative`, `total_cmp`,
+/// * `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign` with itself,
+/// * `Mul<f64>`, `Div<f64>` (scaling, both orders for `Mul`),
+/// * `Div<Self> -> f64` (unit-cancelling ratio),
+/// * `Sum`, `Display` (SI-prefixed), `Debug`, `Clone`, `Copy`,
+///   `PartialEq`, `PartialOrd`, `Default`.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates the quantity from a value in base units.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Creates the quantity from a value in milli-units (×10⁻³).
+            #[inline]
+            pub fn from_milli(value: f64) -> Self {
+                Self(value * 1e-3)
+            }
+
+            /// Creates the quantity from a value in micro-units (×10⁻⁶).
+            #[inline]
+            pub fn from_micro(value: f64) -> Self {
+                Self(value * 1e-6)
+            }
+
+            /// Creates the quantity from a value in nano-units (×10⁻⁹).
+            #[inline]
+            pub fn from_nano(value: f64) -> Self {
+                Self(value * 1e-9)
+            }
+
+            /// Creates the quantity from a value in kilo-units (×10³).
+            #[inline]
+            pub fn from_kilo(value: f64) -> Self {
+                Self(value * 1e3)
+            }
+
+            /// Returns the raw value in base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the value expressed in milli-units.
+            #[inline]
+            pub fn as_milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Returns the value expressed in micro-units.
+            #[inline]
+            pub fn as_micro(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities (NaN-propagating like
+            /// [`f64::min`]).
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` (as [`f64::clamp`] does).
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` when the value is neither infinite nor NaN.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns `true` when the value is negative (including −0.0).
+            #[inline]
+            pub fn is_sign_negative(self) -> bool {
+                self.0.is_sign_negative()
+            }
+
+            /// Total ordering over the underlying `f64`
+            /// (see [`f64::total_cmp`]).
+            #[inline]
+            pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            /// Linear interpolation: `self + t * (other - self)`.
+            ///
+            /// `t` outside `[0, 1]` extrapolates.
+            #[inline]
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 + t * (other.0 - self.0))
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                crate::si::fmt_si(f, self.0, $unit)
+            }
+        }
+    };
+}
+
+/// Implements `Mul`/`Div` physics relations between distinct quantities:
+/// `cross_ops!(A * B = C)` generates `A*B = C`, `B*A = C`, `C/A = B`,
+/// `C/B = A`.
+macro_rules! cross_ops {
+    ($a:ident * $b:ident = $c:ident) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                $b::new(self.value() / rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $b) -> $a {
+                $a::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    quantity!(
+        /// Test-only quantity.
+        Widgets,
+        "wd"
+    );
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Widgets::new(2.0).value(), 2.0);
+        assert_eq!(Widgets::from_milli(2.0).value(), 0.002);
+        assert_eq!(Widgets::from_micro(2.0).value(), 0.000_002);
+        assert!((Widgets::from_nano(2.0).value() - 2e-9).abs() < 1e-24);
+        assert_eq!(Widgets::from_kilo(2.0).value(), 2000.0);
+        assert_eq!(Widgets::new(0.004).as_milli(), 4.0);
+        assert!((Widgets::new(0.000_004).as_micro() - 4.0).abs() < 1e-9);
+        assert_eq!(Widgets::ZERO.value(), 0.0);
+        assert_eq!(Widgets::default(), Widgets::ZERO);
+    }
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Widgets::new(3.0);
+        let b = Widgets::new(1.5);
+        assert_eq!((a + b).value(), 4.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((-a).value(), -3.0);
+        assert_eq!((a * 2.0).value(), 6.0);
+        assert_eq!((2.0 * a).value(), 6.0);
+        assert_eq!((a / 2.0).value(), 1.5);
+        assert_eq!(a / b, 2.0);
+
+        let mut c = a;
+        c += b;
+        assert_eq!(c.value(), 4.5);
+        c -= b;
+        assert_eq!(c.value(), 3.0);
+    }
+
+    #[test]
+    fn comparison_helpers() {
+        let a = Widgets::new(-3.0);
+        let b = Widgets::new(1.0);
+        assert_eq!(a.abs().value(), 3.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Widgets::new(5.0).clamp(Widgets::ZERO, b), b);
+        assert!(a.is_sign_negative());
+        assert!(!b.is_sign_negative());
+        assert!(b.is_finite());
+        assert!(!Widgets::new(f64::NAN).is_finite());
+        assert_eq!(a.total_cmp(&b), core::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn lerp_interpolates_and_extrapolates() {
+        let a = Widgets::new(0.0);
+        let b = Widgets::new(10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.25).value(), 2.5);
+        assert_eq!(a.lerp(b, 2.0).value(), 20.0);
+    }
+
+    #[test]
+    fn summation() {
+        let items = [Widgets::new(1.0), Widgets::new(2.5), Widgets::new(-0.5)];
+        let owned: Widgets = items.iter().copied().sum();
+        let by_ref: Widgets = items.iter().sum();
+        assert_eq!(owned.value(), 3.0);
+        assert_eq!(by_ref.value(), 3.0);
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(Widgets::new(0.0123).to_string(), "12.300 mwd");
+        assert_eq!(Widgets::new(3.0).to_string(), "3.000 wd");
+    }
+}

@@ -1,0 +1,90 @@
+//! Engineering (SI-prefixed) formatting of scalar values.
+
+use core::fmt;
+
+const PREFIXES: &[(f64, &str)] = &[
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+];
+
+/// Formats `value` with an engineering SI prefix and the given unit symbol.
+///
+/// Values are scaled so the mantissa falls in `[1, 1000)` where possible;
+/// zero, NaN and infinities print without a prefix.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_units::format_si;
+/// assert_eq!(format_si(0.0123, "W"), "12.300 mW");
+/// assert_eq!(format_si(4.7e-6, "A"), "4.700 µA");
+/// assert_eq!(format_si(0.0, "V"), "0.000 V");
+/// ```
+pub fn format_si(value: f64, unit: &str) -> String {
+    struct Adapter<'a>(f64, &'a str);
+    impl fmt::Display for Adapter<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt_si(f, self.0, self.1)
+        }
+    }
+    Adapter(value, unit).to_string()
+}
+
+/// Writes `value` with an engineering SI prefix into a formatter.
+///
+/// This is the implementation behind every quantity's `Display`.
+pub(crate) fn fmt_si(f: &mut fmt::Formatter<'_>, value: f64, unit: &str) -> fmt::Result {
+    if value == 0.0 || !value.is_finite() {
+        return write!(f, "{value:.3} {unit}");
+    }
+    let magnitude = value.abs();
+    for &(scale, prefix) in PREFIXES {
+        if magnitude >= scale {
+            return write!(f, "{:.3} {}{}", value / scale, prefix, unit);
+        }
+    }
+    // Below 1 pU: show in pico anyway.
+    write!(f, "{:.3} p{}", value / 1e-12, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::format_si;
+
+    #[test]
+    fn scales_across_prefixes() {
+        assert_eq!(format_si(1.5e12, "W"), "1.500 TW");
+        assert_eq!(format_si(2.5e9, "W"), "2.500 GW");
+        assert_eq!(format_si(3.5e6, "W"), "3.500 MW");
+        assert_eq!(format_si(4.5e3, "W"), "4.500 kW");
+        assert_eq!(format_si(5.5, "W"), "5.500 W");
+        assert_eq!(format_si(6.5e-3, "W"), "6.500 mW");
+        assert_eq!(format_si(7.5e-6, "W"), "7.500 µW");
+        assert_eq!(format_si(8.5e-9, "W"), "8.500 nW");
+        assert_eq!(format_si(9.5e-12, "W"), "9.500 pW");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(format_si(-0.002, "A"), "-2.000 mA");
+    }
+
+    #[test]
+    fn zero_and_non_finite() {
+        assert_eq!(format_si(0.0, "V"), "0.000 V");
+        assert_eq!(format_si(f64::INFINITY, "V"), "inf V");
+        assert_eq!(format_si(f64::NAN, "V"), "NaN V");
+    }
+
+    #[test]
+    fn sub_pico_falls_back_to_pico() {
+        assert_eq!(format_si(5e-14, "F"), "0.050 pF");
+    }
+}

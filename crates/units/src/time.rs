@@ -1,0 +1,101 @@
+//! Time quantities.
+
+quantity!(
+    /// A duration in seconds.
+    ///
+    /// ```
+    /// use mseh_units::Seconds;
+    /// assert_eq!(Seconds::from_hours(2.0).value(), 7200.0);
+    /// assert_eq!(Seconds::from_days(1.0).as_hours(), 24.0);
+    /// ```
+    Seconds,
+    "s"
+);
+
+impl Seconds {
+    /// Creates a duration from minutes.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+
+    /// Creates a duration from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::new(hours * 3600.0)
+    }
+
+    /// Creates a duration from days.
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Self::new(days * 86_400.0)
+    }
+
+    /// Returns the duration in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// Returns the duration in days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.value() / 86_400.0
+    }
+
+    /// The time of day this instant falls at, in seconds since midnight,
+    /// assuming the simulation epoch is midnight.
+    ///
+    /// ```
+    /// use mseh_units::Seconds;
+    /// let t = Seconds::from_hours(25.5);
+    /// assert_eq!(t.time_of_day().as_hours(), 1.5);
+    /// ```
+    #[inline]
+    pub fn time_of_day(self) -> Seconds {
+        Seconds::new(self.value().rem_euclid(86_400.0))
+    }
+}
+
+quantity!(
+    /// Frequency in hertz (vibration spectra, converter switching rates).
+    Hertz,
+    "Hz"
+);
+
+impl Hertz {
+    /// The period of one cycle at this frequency.
+    ///
+    /// Returns an infinite duration at 0 Hz.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Seconds::from_minutes(1.5).value(), 90.0);
+        assert_eq!(Seconds::from_hours(0.5).value(), 1800.0);
+        assert_eq!(Seconds::from_days(2.0).value(), 172_800.0);
+        assert_eq!(Seconds::from_days(0.25).as_hours(), 6.0);
+        assert_eq!(Seconds::from_hours(36.0).as_days(), 1.5);
+    }
+
+    #[test]
+    fn time_of_day_wraps() {
+        assert_eq!(Seconds::from_hours(23.0).time_of_day().as_hours(), 23.0);
+        assert_eq!(Seconds::from_hours(24.0).time_of_day().as_hours(), 0.0);
+        assert_eq!(Seconds::from_hours(49.0).time_of_day().as_hours(), 1.0);
+    }
+
+    #[test]
+    fn frequency_period() {
+        assert_eq!(Hertz::new(50.0).period().value(), 0.02);
+        assert!(Hertz::ZERO.period().value().is_infinite());
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 2 scenario: the Plug-and-Play architecture (System B) indoors,
+//! with a hot swap mid-run — the storage module is exchanged for a
+//! completely different chemistry and the platform stays energy-aware
+//! because it re-reads the newcomer's electronic datasheet.
+//!
+//! ```sh
+//! cargo run --example plug_and_play
+//! ```
+
+use mseh::env::Environment;
+use mseh::node::{EnergyNeutral, SensorNode};
+use mseh::sim::{run_simulation, SimConfig};
+use mseh::systems::{system_b, SystemId};
+use mseh::units::Seconds;
+
+fn main() {
+    let mut unit = SystemId::B.build();
+    println!("platform: {}", unit.name());
+    println!("quiescent draw: {}", unit.quiescent_power());
+    println!(
+        "six shared slots: {} harvester modules + {} storage modules attached",
+        unit.harvester_ports().len(),
+        unit.store_ports().len()
+    );
+    for port in unit.store_ports() {
+        if let Some(device) = port.device() {
+            println!(
+                "  {}: recognized capacity {}",
+                device.name(),
+                port.recognized_capacity()
+            );
+        }
+    }
+
+    let env = Environment::indoor_industrial(2009);
+    let node = SensorNode::submilliwatt_class();
+    let mut policy = EnergyNeutral::new();
+
+    // Two days with the commissioning loadout.
+    let before = run_simulation(
+        &mut unit,
+        &env,
+        &node,
+        &mut policy,
+        SimConfig::over(Seconds::from_days(2.0)),
+    );
+    println!(
+        "\nphase 1 (supercap + NiMH): harvested {}, uptime {:.2} %",
+        before.harvested,
+        before.uptime * 100.0
+    );
+
+    // Hot swap: pull the NiMH module, plug in the lithium-primary module.
+    // The datasheet travels with the module, so the unit's recognized
+    // capacity follows the hardware — the survey's point about System B.
+    let old = unit.detach_storage(1).expect("NiMH module attached");
+    println!("\n-- hot swap: {} out --", old.name());
+    let (module, sheet) = system_b::li_primary_module();
+    let new_capacity = sheet.capacity.expect("storage datasheet");
+    unit.attach_storage(1, Box::new(module), Some(&sheet))
+        .expect("interface circuit present");
+    println!(
+        "-- {} in; datasheet announces {} --",
+        unit.store_ports()[1].device().expect("attached").name(),
+        new_capacity
+    );
+    assert_eq!(
+        unit.store_ports()[1].recognized_capacity(),
+        new_capacity,
+        "energy-awareness must follow the swap"
+    );
+
+    // Two more days on the new loadout.
+    let after = run_simulation(
+        &mut unit,
+        &env,
+        &node,
+        &mut policy,
+        SimConfig::over(Seconds::from_days(2.0)),
+    );
+    println!(
+        "\nphase 2 (supercap + Li primary): harvested {}, uptime {:.2} %",
+        after.harvested,
+        after.uptime * 100.0
+    );
+    println!(
+        "\nthe node stayed energy-aware across a chemistry change — the\n\
+         capability Table I credits uniquely to the Plug-and-Play design"
+    );
+}

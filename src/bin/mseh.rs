@@ -1,0 +1,392 @@
+//! `mseh` — command-line front end: regenerate Table I, simulate any
+//! surveyed platform in any deployment, sweep buffer sizes, export
+//! traces.
+//!
+//! ```sh
+//! cargo run --release --bin mseh -- table1
+//! cargo run --release --bin mseh -- simulate --system B --env indoor --days 7
+//! cargo run --release --bin mseh -- simulate --system A --policy forecast --record /tmp/run.csv
+//! cargo run --release --bin mseh -- sweep-buffer --days 14 --seed 77
+//! ```
+
+use std::process::ExitCode;
+
+use mseh::core::{classify, render_table};
+use mseh::env::Environment;
+use mseh::node::{
+    DayProfileForecast, DutyCyclePolicy, EnergyNeutral, FixedDuty, SensorNode, VoltageThreshold,
+};
+use mseh::sim::{run_simulation, SimConfig};
+use mseh::systems::{all_systems, SystemId};
+use mseh::units::{DutyCycle, Seconds};
+
+const USAGE: &str = "\
+mseh — multi-source energy harvesting systems (Weddell et al., DATE 2013)
+
+USAGE:
+    mseh table1
+    mseh systems
+    mseh simulate [--system A..G] [--env ENV] [--days N] [--seed N]
+                  [--policy POLICY] [--record FILE.csv]
+    mseh sweep-buffer [--days N] [--seed N]
+    mseh survey [--env ENV] [--days N] [--seed N]
+
+ENV:      outdoor (default) | winter | indoor | office | agricultural
+POLICY:   ladder (default) | neutral | forecast | fixed:<duty 0..1>
+RECORD:   writes store-voltage/harvest/duty time series as CSV
+
+The full experiment suite (Table I, figures, E1-E10, ablations) lives in
+`cargo run --release -p mseh-bench --bin experiments`.";
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+enum Command {
+    Table1,
+    Systems,
+    Simulate {
+        system: SystemId,
+        env: String,
+        days: f64,
+        seed: u64,
+        policy: String,
+        record: Option<String>,
+    },
+    SweepBuffer {
+        days: f64,
+        seed: u64,
+    },
+    Survey {
+        env: String,
+        days: f64,
+        seed: u64,
+    },
+    Help,
+}
+
+/// Parses arguments (first element is the subcommand, no program name).
+fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let mut opts = std::collections::HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got {:?}", rest[i]))?;
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_owned(), (*value).clone());
+        i += 2;
+    }
+    let days = |default: f64| -> Result<f64, String> {
+        opts.get("days").map_or(Ok(default), |v| {
+            v.parse().map_err(|e| format!("--days: {e}"))
+        })
+    };
+    let seed = || -> Result<u64, String> {
+        opts.get("seed")
+            .map_or(Ok(42), |v| v.parse().map_err(|e| format!("--seed: {e}")))
+    };
+    match sub {
+        "table1" => Ok(Command::Table1),
+        "systems" => Ok(Command::Systems),
+        "simulate" => {
+            let system = match opts.get("system").map(String::as_str).unwrap_or("A") {
+                "A" | "a" => SystemId::A,
+                "B" | "b" => SystemId::B,
+                "C" | "c" => SystemId::C,
+                "D" | "d" => SystemId::D,
+                "E" | "e" => SystemId::E,
+                "F" | "f" => SystemId::F,
+                "G" | "g" => SystemId::G,
+                other => return Err(format!("unknown system {other:?} (use A..G)")),
+            };
+            Ok(Command::Simulate {
+                system,
+                env: opts.get("env").cloned().unwrap_or_else(|| "outdoor".into()),
+                days: days(7.0)?,
+                seed: seed()?,
+                policy: opts
+                    .get("policy")
+                    .cloned()
+                    .unwrap_or_else(|| "ladder".into()),
+                record: opts.get("record").cloned(),
+            })
+        }
+        "sweep-buffer" => Ok(Command::SweepBuffer {
+            days: days(14.0)?,
+            seed: seed()?,
+        }),
+        "survey" => Ok(Command::Survey {
+            env: opts.get("env").cloned().unwrap_or_else(|| "outdoor".into()),
+            days: days(3.0)?,
+            seed: seed()?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn make_env(kind: &str, seed: u64) -> Result<Environment, String> {
+    Ok(match kind {
+        "outdoor" => Environment::outdoor_temperate(seed),
+        "winter" => Environment::outdoor_winter(seed),
+        "indoor" => Environment::indoor_industrial(seed),
+        "office" => Environment::indoor_office(seed),
+        "agricultural" | "agri" => Environment::agricultural(seed),
+        other => return Err(format!("unknown env {other:?}")),
+    })
+}
+
+fn make_policy(spec: &str) -> Result<Box<dyn DutyCyclePolicy>, String> {
+    if let Some(duty) = spec.strip_prefix("fixed:") {
+        let d: f64 = duty.parse().map_err(|e| format!("fixed duty: {e}"))?;
+        if !(0.0..=1.0).contains(&d) {
+            return Err(format!("duty {d} outside 0..1"));
+        }
+        return Ok(Box::new(FixedDuty::new(DutyCycle::saturating(d))));
+    }
+    Ok(match spec {
+        "ladder" => Box::new(VoltageThreshold::supercap_ladder()),
+        "neutral" => Box::new(EnergyNeutral::new()),
+        "forecast" => Box::new(DayProfileForecast::new(Seconds::from_hours(14.0))),
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => println!("{USAGE}"),
+        Command::Table1 => {
+            let records: Vec<_> = all_systems().iter().map(classify).collect();
+            println!("{}", render_table(&records));
+        }
+        Command::Systems => {
+            for id in SystemId::ALL {
+                let unit = id.build();
+                let r = classify(&unit);
+                println!(
+                    "{id}: {} harvester ports, {} store ports, quiescent {:.1} µA, {}",
+                    r.n_harvesters,
+                    r.n_stores,
+                    r.quiescent.as_micro(),
+                    r.exchangeability()
+                );
+            }
+        }
+        Command::Simulate {
+            system,
+            env,
+            days,
+            seed,
+            policy,
+            record,
+        } => {
+            let environment = make_env(&env, seed)?;
+            let mut policy_box = make_policy(&policy)?;
+            let mut unit = system.build();
+            let node = match system {
+                SystemId::A | SystemId::C | SystemId::D => SensorNode::milliwatt_class(),
+                _ => SensorNode::submilliwatt_class(),
+            };
+            let mut config = SimConfig::over(Seconds::from_days(days));
+            config.record = record.is_some();
+            println!("{system} in {env} for {days} days (seed {seed}, policy {policy})");
+            let result =
+                run_simulation(&mut unit, &environment, &node, policy_box.as_mut(), config);
+            println!("harvested        : {}", result.harvested);
+            println!("delivered        : {}", result.delivered);
+            println!("uptime           : {:.2} %", result.uptime * 100.0);
+            println!("samples          : {:.0}", result.samples);
+            println!("brownout steps   : {}", result.brownout_steps);
+            println!("min store voltage: {}", result.min_store_voltage);
+            println!("audit residual   : {:.2e}", result.audit_residual);
+            if let (Some(path), Some(traces)) = (record, result.traces) {
+                let mut csv = String::from("time_s,store_voltage_v,harvest_power_w,duty\n");
+                for ((tv, hv), dv) in traces
+                    .store_voltage
+                    .iter()
+                    .zip(traces.harvest_power.iter())
+                    .zip(traces.duty.iter())
+                {
+                    csv.push_str(&format!("{},{},{},{}\n", tv.0.value(), tv.1, hv.1, dv.1));
+                }
+                std::fs::write(&path, csv).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("traces written to {path}");
+            }
+        }
+        Command::Survey { env, days, seed } => {
+            let environment = make_env(&env, seed)?;
+            let report = mseh::systems::site_survey(
+                &environment,
+                Seconds::from_days(days),
+                Seconds::from_minutes(10.0),
+            );
+            println!("{report}");
+        }
+        Command::SweepBuffer { days, seed } => {
+            // Delegate to the experiment harness's E2 kernel via the same
+            // public pieces (kept self-contained to avoid a bench dep).
+            println!("buffer sweep over {days} days (seed {seed}) — see also E2 in mseh-bench");
+            let sizes = [2.0, 5.0, 10.0, 22.0, 50.0, 100.0];
+            let env = Environment::outdoor_temperate(seed);
+            let node = SensorNode::submilliwatt_class();
+            println!("{:>8} | {:>9}", "size (F)", "uptime");
+            for farads in sizes {
+                use mseh::core::{PortRequirement, PowerUnit, StoreRole};
+                use mseh::power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
+                use mseh::storage::Supercap;
+                use mseh::units::{Farads, Ohms, Volts};
+                let channel = InputChannel::new(
+                    Box::new(mseh::harvesters::PvModule::outdoor_panel_half_watt()),
+                    Box::new(FractionalVoc::pv_standard()),
+                    Box::new(IdealDiode::nanopower()),
+                    Box::new(DcDcConverter::mppt_front_end_5v()),
+                );
+                let mut cap = Supercap::new(
+                    format!("{farads} F"),
+                    Farads::new(farads),
+                    farads / 15.0,
+                    Ohms::from_milli(60.0),
+                    Ohms::from_kilo(15.0),
+                    Volts::new(0.8),
+                    Volts::new(2.7),
+                );
+                cap.set_voltage(Volts::new(2.2));
+                let mut unit = PowerUnit::builder("sweep rig")
+                    .harvester_port(
+                        PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+                        Some(channel),
+                        true,
+                    )
+                    .store_port(
+                        PortRequirement::any_in_window("buf", Volts::ZERO, Volts::new(3.0)),
+                        Some(Box::new(cap)),
+                        StoreRole::PrimaryBuffer,
+                        true,
+                    )
+                    .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+                    .build();
+                let result = run_simulation(
+                    &mut unit,
+                    &env,
+                    &node,
+                    &mut FixedDuty::new(DutyCycle::saturating(0.15)),
+                    SimConfig::over(Seconds::from_days(days)),
+                );
+                println!("{farads:>8.0} | {:>7.2} %", result.uptime * 100.0);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_subcommands() {
+        assert_eq!(parse(&argv("table1")).unwrap(), Command::Table1);
+        assert!(matches!(
+            parse(&argv("survey --env indoor")).unwrap(),
+            Command::Survey { .. }
+        ));
+        assert_eq!(parse(&argv("systems")).unwrap(), Command::Systems);
+        assert_eq!(parse(&argv("")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_options() {
+        let cmd = parse(&argv(
+            "simulate --system B --env indoor --days 3 --seed 9 --policy neutral",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                system,
+                env,
+                days,
+                seed,
+                policy,
+                record,
+            } => {
+                assert_eq!(system, SystemId::B);
+                assert_eq!(env, "indoor");
+                assert_eq!(days, 3.0);
+                assert_eq!(seed, 9);
+                assert_eq!(policy, "neutral");
+                assert_eq!(record, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        match parse(&argv("simulate")).unwrap() {
+            Command::Simulate {
+                system,
+                env,
+                days,
+                seed,
+                policy,
+                ..
+            } => {
+                assert_eq!(system, SystemId::A);
+                assert_eq!(env, "outdoor");
+                assert_eq!(days, 7.0);
+                assert_eq!(seed, 42);
+                assert_eq!(policy, "ladder");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_options() {
+        assert!(parse(&argv("simulate --days")).is_err());
+        assert!(parse(&argv("simulate days 3")).is_err());
+        assert!(parse(&argv("simulate --system Z")).is_err());
+    }
+
+    #[test]
+    fn policies_construct() {
+        assert!(make_policy("ladder").is_ok());
+        assert!(make_policy("neutral").is_ok());
+        assert!(make_policy("forecast").is_ok());
+        assert!(make_policy("fixed:0.25").is_ok());
+        assert!(make_policy("fixed:1.5").is_err());
+        assert!(make_policy("mystery").is_err());
+    }
+
+    #[test]
+    fn environments_construct() {
+        for kind in ["outdoor", "winter", "indoor", "office", "agricultural"] {
+            assert!(make_env(kind, 1).is_ok());
+        }
+        assert!(make_env("mars", 1).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! `mseh` — **m**ulti-**s**ource **e**nergy **h**arvesting systems.
+//!
+//! A design, taxonomy and simulation library reproducing and extending
+//! *A. S. Weddell, M. Magno, G. V. Merrett, D. Brunelli, B. M. Al-Hashimi,
+//! L. Benini, "A Survey of Multi-Source Energy Harvesting Systems,"
+//! DATE 2013.*
+//!
+//! This facade re-exports the workspace crates under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`units`] | `mseh-units` | typed physical quantities |
+//! | [`mod@env`] | `mseh-env` | seeded environment models & traces |
+//! | [`harvesters`] | `mseh-harvesters` | PV, wind, TEG, piezo, RF, hydro transducers |
+//! | [`storage`] | `mseh-storage` | supercap, batteries, fuel cell |
+//! | [`power`] | `mseh-power` | converters, regulators, MPPT |
+//! | [`node`] | `mseh-node` | sensor-node loads & duty-cycle policies |
+//! | [`core`] | `mseh-core` | taxonomy, `PowerUnit`, datasheets, smart harvesters |
+//! | [`sim`] | `mseh-sim` | simulation kernel & sweep tools |
+//! | [`systems`] | `mseh-systems` | the seven surveyed platforms A–G |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mseh::systems::SystemId;
+//! use mseh::sim::{run_simulation, SimConfig};
+//! use mseh::node::{SensorNode, VoltageThreshold};
+//! use mseh::env::Environment;
+//! use mseh::units::Seconds;
+//!
+//! // Simulate the Smart Power Unit for two days outdoors.
+//! let mut unit = SystemId::A.build();
+//! let result = run_simulation(
+//!     &mut unit,
+//!     &Environment::outdoor_temperate(42),
+//!     &SensorNode::milliwatt_class(),
+//!     &mut VoltageThreshold::supercap_ladder(),
+//!     SimConfig::over(Seconds::from_days(2.0)),
+//! );
+//! assert!(result.harvested.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mseh_core as core;
+pub use mseh_env as env;
+pub use mseh_harvesters as harvesters;
+pub use mseh_node as node;
+pub use mseh_power as power;
+pub use mseh_sim as sim;
+pub use mseh_storage as storage;
+pub use mseh_systems as systems;
+pub use mseh_units as units;

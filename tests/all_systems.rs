@@ -1,0 +1,126 @@
+//! Integration: every surveyed platform runs end-to-end in its natural
+//! deployment environment, with the energy books balancing.
+
+use mseh::core::{classify, render_table};
+use mseh::env::Environment;
+use mseh::node::{FixedDuty, SensorNode};
+use mseh::sim::{run_simulation, SimConfig, SimResult};
+use mseh::systems::SystemId;
+use mseh::units::{DutyCycle, Seconds};
+
+/// The environment each platform was designed for.
+fn natural_environment(id: SystemId) -> Environment {
+    match id {
+        SystemId::A | SystemId::C => Environment::outdoor_temperate(99),
+        SystemId::B | SystemId::E | SystemId::F => Environment::indoor_industrial(99),
+        SystemId::D => Environment::agricultural(99),
+        SystemId::G => Environment::indoor_industrial(99),
+    }
+}
+
+/// A load each platform class can plausibly carry.
+fn natural_node(id: SystemId) -> SensorNode {
+    match id {
+        SystemId::A | SystemId::C | SystemId::D => SensorNode::milliwatt_class(),
+        _ => SensorNode::submilliwatt_class(),
+    }
+}
+
+fn run(id: SystemId, days: f64, duty: f64) -> SimResult {
+    let mut unit = id.build();
+    run_simulation(
+        &mut unit,
+        &natural_environment(id),
+        &natural_node(id),
+        &mut FixedDuty::new(DutyCycle::saturating(duty)),
+        SimConfig::over(Seconds::from_days(days)),
+    )
+}
+
+#[test]
+fn every_platform_harvests_in_its_habitat() {
+    for id in SystemId::ALL {
+        let result = run(id, 2.0, 0.02);
+        assert!(
+            result.harvested.value() > 0.1,
+            "{id}: harvested only {}",
+            result.harvested
+        );
+        assert!(
+            result.audit_residual < 1e-6,
+            "{id}: conservation residual {}",
+            result.audit_residual
+        );
+    }
+}
+
+#[test]
+fn outdoor_platforms_dwarf_indoor_harvests() {
+    // Outdoor sun + wind delivers orders of magnitude more energy than
+    // indoor light/vibration — the spatial variability that motivates
+    // deployment-matched hardware.
+    let outdoor = run(SystemId::A, 2.0, 0.02).harvested;
+    let indoor = run(SystemId::B, 2.0, 0.02).harvested;
+    assert!(
+        outdoor.value() > 50.0 * indoor.value(),
+        "outdoor {outdoor} vs indoor {indoor}"
+    );
+}
+
+#[test]
+fn light_duty_survives_everywhere_reasonable() {
+    // At 1 % duty, the well-buffered research platforms ride through
+    // nights and weekends.
+    for id in [SystemId::A, SystemId::B, SystemId::C] {
+        let result = run(id, 3.0, 0.01);
+        assert!(result.uptime > 0.95, "{id}: uptime {:.3}", result.uptime);
+    }
+}
+
+#[test]
+fn table_one_renders_for_all_platforms() {
+    let records: Vec<_> = SystemId::ALL
+        .iter()
+        .map(|id| classify(&id.build()))
+        .collect();
+    let table = render_table(&records);
+    // One column per platform.
+    for id in SystemId::ALL {
+        assert!(table.contains(id.display_name()), "{table}");
+    }
+    // The headline cells the survey calls out.
+    assert!(table.contains("6 (shared)"));
+    assert!(table.contains("75.0 µA"));
+    assert!(table.contains("General AC/DC"));
+    assert!(table.contains("Fuel cell"));
+}
+
+#[test]
+fn monitoring_tiers_partition_as_in_the_paper() {
+    use mseh::node::MonitoringLevel;
+    let tiers: Vec<MonitoringLevel> = SystemId::ALL
+        .iter()
+        .map(|id| classify(&id.build()).energy_monitoring)
+        .collect();
+    assert_eq!(
+        tiers,
+        [
+            MonitoringLevel::Full,         // A: "Yes"
+            MonitoringLevel::Full,         // B: "Yes"
+            MonitoringLevel::None,         // C: "No"
+            MonitoringLevel::StoreVoltage, // D: "Limited"
+            MonitoringLevel::None,         // E: "No"
+            MonitoringLevel::Full,         // F: "Yes"
+            MonitoringLevel::None,         // G: "No"
+        ]
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run(SystemId::D, 1.0, 0.05);
+    let b = run(SystemId::D, 1.0, 0.05);
+    assert_eq!(a.harvested, b.harvested);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.samples, b.samples);
+}

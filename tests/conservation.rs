@@ -1,0 +1,178 @@
+//! Property-based integration tests: energy conservation and determinism
+//! hold for arbitrary platform configurations, loads and horizons.
+
+use mseh::core::{PortRequirement, PowerUnit, StoreRole};
+use mseh::env::Environment;
+use mseh::harvesters::{FlowTurbine, PvModule, Rectenna, Teg, VibrationHarvester};
+use mseh::node::{FixedDuty, SensorNode};
+use mseh::power::{
+    DcDcConverter, DiodeStage, FixedPoint, FractionalVoc, IdealDiode, InputChannel,
+    OperatingPointController, PerturbObserve, PowerStage,
+};
+use mseh::sim::{run_simulation, SimConfig};
+use mseh::storage::{Battery, FuelCell, Storage, Supercap};
+use mseh::units::{DutyCycle, Seconds, Volts};
+use proptest::prelude::*;
+
+/// Builds the i-th harvester flavour.
+fn harvester(i: u8) -> Box<dyn mseh::harvesters::Transducer> {
+    match i % 6 {
+        0 => Box::new(PvModule::outdoor_panel_half_watt()),
+        1 => Box::new(FlowTurbine::micro_wind()),
+        2 => Box::new(Teg::module_40mm()),
+        3 => Box::new(VibrationHarvester::piezo_cantilever()),
+        4 => Box::new(Rectenna::rectenna_915mhz()),
+        _ => Box::new(PvModule::amorphous_indoor()),
+    }
+}
+
+/// Builds the i-th controller flavour.
+fn controller(i: u8) -> Box<dyn OperatingPointController> {
+    match i % 4 {
+        0 => Box::new(PerturbObserve::new()),
+        1 => Box::new(FractionalVoc::pv_standard()),
+        2 => Box::new(FractionalVoc::thevenin_standard()),
+        _ => Box::new(FixedPoint::new(Volts::new(1.5))),
+    }
+}
+
+/// Builds the i-th storage flavour, with some charge.
+fn storage(i: u8, soc: f64) -> Box<dyn Storage> {
+    match i % 4 {
+        0 => {
+            let mut c = Supercap::edlc_22f();
+            let v = c.min_voltage().lerp(c.max_voltage(), soc);
+            c.set_voltage(v);
+            Box::new(c)
+        }
+        1 => {
+            let mut b = Battery::lipo_400mah();
+            b.set_soc(soc);
+            Box::new(b)
+        }
+        2 => {
+            let mut b = Battery::nimh_aa_pair();
+            b.set_soc(soc);
+            Box::new(b)
+        }
+        _ => Box::new(FuelCell::hydrogen_cartridge()),
+    }
+}
+
+fn build_platform(harvesters: &[(u8, u8)], stores: &[(u8, f64)]) -> PowerUnit {
+    let mut builder = PowerUnit::builder("prop platform");
+    for (i, &(h, c)) in harvesters.iter().enumerate() {
+        let protection: Box<dyn PowerStage> = if h % 2 == 0 {
+            Box::new(IdealDiode::nanopower())
+        } else {
+            Box::new(DiodeStage::schottky_single())
+        };
+        builder = builder.harvester_port(
+            PortRequirement::any_in_window(format!("h{i}"), Volts::ZERO, Volts::new(20.0)),
+            Some(InputChannel::new(
+                harvester(h),
+                controller(c),
+                protection,
+                Box::new(DcDcConverter::mppt_front_end_5v()),
+            )),
+            true,
+        );
+    }
+    for (i, &(s, soc)) in stores.iter().enumerate() {
+        let role = match i {
+            0 => StoreRole::PrimaryBuffer,
+            1 => StoreRole::SecondaryBuffer,
+            _ => StoreRole::Backup,
+        };
+        builder = builder.store_port(
+            PortRequirement::any_in_window(format!("s{i}"), Volts::ZERO, Volts::new(6.0)),
+            Some(storage(s, soc)),
+            role,
+            true,
+        );
+    }
+    builder
+        .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Storage-side conservation closes for any platform shape, any
+    /// environment, any duty cycle.
+    #[test]
+    fn conservation_closes_for_arbitrary_platforms(
+        harvesters in proptest::collection::vec((0u8..6, 0u8..4), 1..4),
+        stores in proptest::collection::vec((0u8..4, 0.0..1.0f64), 1..4),
+        env_kind in 0u8..4,
+        duty in 0.0..1.0f64,
+        seed in 0u64..1000,
+        hours in 2.0..24.0f64,
+    ) {
+        let mut unit = build_platform(&harvesters, &stores);
+        let env = match env_kind {
+            0 => Environment::outdoor_temperate(seed),
+            1 => Environment::indoor_industrial(seed),
+            2 => Environment::agricultural(seed),
+            _ => Environment::outdoor_winter(seed),
+        };
+        let result = run_simulation(
+            &mut unit,
+            &env,
+            &SensorNode::submilliwatt_class(),
+            &mut FixedDuty::new(DutyCycle::saturating(duty)),
+            SimConfig::over(Seconds::from_hours(hours)),
+        );
+        prop_assert!(result.audit_residual < 1e-6,
+            "residual {}", result.audit_residual);
+        // Uptime and samples are well-formed.
+        prop_assert!((0.0..=1.0).contains(&result.uptime));
+        prop_assert!(result.samples >= 0.0);
+        prop_assert!(result.harvested.value() >= 0.0);
+    }
+
+    /// Identical configuration + seed ⇒ bit-identical results.
+    #[test]
+    fn simulation_is_deterministic(
+        seed in 0u64..500,
+        duty in 0.0..1.0f64,
+    ) {
+        let run = || {
+            let mut unit = build_platform(&[(0, 1), (1, 2)], &[(0, 0.5)]);
+            run_simulation(
+                &mut unit,
+                &Environment::outdoor_temperate(seed),
+                &SensorNode::submilliwatt_class(),
+                &mut FixedDuty::new(DutyCycle::saturating(duty)),
+                SimConfig::over(Seconds::from_hours(6.0)),
+            )
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.harvested, b.harvested);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.shortfall, b.shortfall);
+        prop_assert_eq!(a.samples, b.samples);
+    }
+
+    /// Higher duty never yields more uptime and never fewer demanded
+    /// samples-at-full-power: monotonicity smoke checks.
+    #[test]
+    fn duty_monotonicity(seed in 0u64..200) {
+        let run_at = |duty: f64| {
+            let mut unit = build_platform(&[(0, 1)], &[(0, 0.6)]);
+            run_simulation(
+                &mut unit,
+                &Environment::outdoor_winter(seed),
+                &SensorNode::milliwatt_class(),
+                &mut FixedDuty::new(DutyCycle::saturating(duty)),
+                SimConfig::over(Seconds::from_hours(12.0)),
+            )
+        };
+        let low = run_at(0.05);
+        let high = run_at(0.9);
+        prop_assert!(high.uptime <= low.uptime + 1e-9,
+            "high-duty uptime {} vs low {}", high.uptime, low.uptime);
+        prop_assert!(high.shortfall >= low.shortfall - mseh::units::Joules::new(1e-9));
+    }
+}

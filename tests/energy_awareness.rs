@@ -1,0 +1,147 @@
+//! Integration: what each monitoring tier is worth (the behavioural side
+//! of experiment E7) — fixed vs voltage-ladder vs energy-neutral policies
+//! on the same platform and trace.
+
+use mseh::core::{PortRequirement, PowerUnit, StoreRole};
+use mseh::env::Environment;
+use mseh::harvesters::PvModule;
+use mseh::node::{DutyCyclePolicy, EnergyNeutral, FixedDuty, SensorNode, VoltageThreshold};
+use mseh::power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
+use mseh::sim::{run_simulation, SimConfig, SimResult};
+use mseh::storage::Supercap;
+use mseh::systems::SystemId;
+use mseh::units::{DutyCycle, Seconds, Volts};
+
+/// A lean, solar-only platform: in winter its nights genuinely starve
+/// the node, so the duty-cycle policy is what decides survival. (A
+/// multi-source platform like System A rides through winter on wind —
+/// exactly the survey's argument — which would make this comparison
+/// vacuous.)
+fn solar_only_unit() -> PowerUnit {
+    let channel = InputChannel::new(
+        Box::new(PvModule::outdoor_panel_half_watt()),
+        Box::new(FractionalVoc::pv_standard()),
+        Box::new(IdealDiode::nanopower()),
+        Box::new(DcDcConverter::mppt_front_end_5v()),
+    );
+    let mut cap = Supercap::edlc_22f();
+    cap.set_voltage(Volts::new(2.2));
+    PowerUnit::builder("solar-only winter rig")
+        .harvester_port(
+            PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+            Some(channel),
+            true,
+        )
+        .store_port(
+            PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(cap)),
+            StoreRole::PrimaryBuffer,
+            true,
+        )
+        .supervisor(mseh::core::Supervisor {
+            location: mseh::core::IntelligenceLocation::PowerUnit,
+            monitoring: mseh::node::MonitoringLevel::Full,
+            interface: mseh::core::InterfaceKind::Digital { two_way: false },
+            overhead: mseh::units::Watts::from_micro(5.0),
+        })
+        .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+        .build()
+}
+
+fn run_policy(policy: &mut dyn DutyCyclePolicy, days: f64) -> SimResult {
+    let mut unit = solar_only_unit();
+    run_simulation(
+        &mut unit,
+        &Environment::outdoor_winter(31), // lean conditions stress policies
+        &SensorNode::milliwatt_class(),
+        policy,
+        SimConfig::over(Seconds::from_days(days)),
+    )
+}
+
+#[test]
+fn greedy_fixed_duty_browns_out_in_winter() {
+    let result = run_policy(&mut FixedDuty::new(DutyCycle::ONE), 4.0);
+    assert!(
+        result.uptime < 0.999,
+        "full duty should overrun a winter harvest: uptime {}",
+        result.uptime
+    );
+    assert!(result.brownout_steps > 0);
+}
+
+#[test]
+fn voltage_ladder_trades_yield_for_uptime() {
+    let greedy = run_policy(&mut FixedDuty::new(DutyCycle::ONE), 4.0);
+    let ladder = run_policy(&mut VoltageThreshold::supercap_ladder(), 4.0);
+    // The ladder backs off when the store sags, so it suffers less
+    // downtime than the greedy policy...
+    assert!(
+        ladder.uptime >= greedy.uptime,
+        "ladder {} vs greedy {}",
+        ladder.uptime,
+        greedy.uptime
+    );
+    // ...while necessarily producing fewer samples than a greedy policy
+    // that never sleeps (when the greedy one is powered).
+    assert!(ladder.samples <= greedy.samples);
+}
+
+#[test]
+fn energy_neutral_eliminates_downtime() {
+    let neutral = run_policy(&mut EnergyNeutral::new(), 4.0);
+    assert!(
+        neutral.uptime > 0.999,
+        "energy-neutral uptime {}",
+        neutral.uptime
+    );
+    assert_eq!(neutral.brownout_steps, 0, "{neutral:?}");
+}
+
+#[test]
+fn full_monitoring_beats_voltage_only_on_yield_at_equal_uptime() {
+    let ladder = run_policy(&mut VoltageThreshold::supercap_ladder(), 6.0);
+    let neutral = run_policy(&mut EnergyNeutral::new(), 6.0);
+    // Both families stay essentially up; the richer status lets the
+    // energy-neutral controller convert the same harvest into more
+    // delivered work per unit of downtime risk. (We assert the weaker,
+    // robust form: it is no worse on uptime.)
+    assert!(neutral.uptime >= ladder.uptime - 1e-9);
+}
+
+#[test]
+fn blind_policies_cannot_use_what_they_cannot_see() {
+    // On a platform with no monitoring (System G), the adaptive policies
+    // degrade to their blind fallbacks — the structural point of the
+    // survey's monitoring axis.
+    let mut unit = SystemId::G.build();
+    let status = mseh::sim::Platform::energy_status(&unit);
+    assert_eq!(status, mseh::node::EnergyStatus::none());
+
+    let node = SensorNode::submilliwatt_class();
+    let mut neutral = EnergyNeutral::new();
+    let duty = neutral.choose(&node, &status);
+    // Fallback: the conservative fixed 10 %.
+    assert!((duty.value() - 0.1).abs() < 1e-12);
+
+    let mut ladder = VoltageThreshold::supercap_ladder();
+    let duty = ladder.choose(&node, &status);
+    assert_eq!(duty, ladder.duty_mid);
+    let _ = &mut unit;
+}
+
+#[test]
+fn downtime_concentrates_in_long_outages_for_greedy_policies() {
+    let greedy = run_policy(&mut FixedDuty::new(DutyCycle::ONE), 4.0);
+    if greedy.brownout_steps > 0 {
+        // Outages cluster overnight rather than scattering as single
+        // steps: the longest outage is a substantial fraction of the
+        // total.
+        assert!(
+            greedy.longest_outage_steps as f64 >= 0.05 * greedy.brownout_steps as f64,
+            "longest {} of {}",
+            greedy.longest_outage_steps,
+            greedy.brownout_steps
+        );
+    }
+}

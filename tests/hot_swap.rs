@@ -1,0 +1,176 @@
+//! Integration: hardware-exchange semantics across architectures — the
+//! survey's Section III.2 ("Exchangeable Hardware") behaviours.
+
+use mseh::core::{CompatError, ElectronicDatasheet, PowerUnit};
+use mseh::harvesters::HarvesterKind;
+use mseh::power::{DcDcConverter, FixedPoint, InputChannel};
+use mseh::storage::{Battery, Storage, StorageKind, Supercap};
+use mseh::systems::{system_b, InterfacedStorage, SystemId};
+use mseh::units::{Volts, Watts};
+
+fn some_channel(kind: HarvesterKind) -> InputChannel {
+    let harvester: Box<dyn mseh::harvesters::Transducer> = match kind {
+        HarvesterKind::Photovoltaic => Box::new(mseh::harvesters::PvModule::amorphous_indoor()),
+        HarvesterKind::RfRectenna => Box::new(mseh::harvesters::Rectenna::rectenna_915mhz()),
+        HarvesterKind::WindTurbine => Box::new(mseh::harvesters::FlowTurbine::micro_wind()),
+        _ => Box::new(mseh::harvesters::Teg::module_40mm()),
+    };
+    InputChannel::new(
+        harvester,
+        Box::new(FixedPoint::new(Volts::new(1.0))),
+        Box::new(mseh::power::DiodeStage::schottky_single()),
+        Box::new(DcDcConverter::mppt_front_end_5v()),
+    )
+}
+
+#[test]
+fn soldered_platforms_refuse_field_attachment() {
+    // System A's energy hardware is fixed.
+    let mut a = SystemId::A.build();
+    a.detach_harvester(0);
+    let err = a
+        .attach_harvester(
+            0,
+            some_channel(HarvesterKind::Photovoltaic),
+            Volts::new(4.0),
+            None,
+        )
+        .unwrap_err();
+    assert!(matches!(err, CompatError::KindNotSupported { .. }));
+}
+
+#[test]
+fn restrictive_platforms_enforce_kind_windows() {
+    // System C's aux port is specified for light/wind only.
+    let mut c = SystemId::C.build();
+    let err = c
+        .attach_harvester(
+            2,
+            some_channel(HarvesterKind::RfRectenna),
+            Volts::new(2.0),
+            None,
+        )
+        .unwrap_err();
+    assert!(matches!(err, CompatError::KindNotSupported { .. }));
+}
+
+#[test]
+fn stale_capacity_after_undeclared_storage_swap() {
+    // Swap AmbiMax's battery for a much larger pack: the unit keeps
+    // believing the commissioning capacity, so its (hypothetical) energy
+    // estimates are now wrong — Table I's caveat.
+    let mut c = SystemId::C.build();
+    let believed_before = c.store_ports()[1].recognized_capacity();
+    c.detach_storage(1).expect("battery attached");
+    let mut pack = Battery::nimh_aa_pair();
+    pack.set_soc(1.0);
+    let actual = pack.capacity();
+    c.attach_storage(1, Box::new(pack), None)
+        .expect("NiMH allowed");
+    assert_eq!(c.store_ports()[1].recognized_capacity(), believed_before);
+    assert!(actual > 2.0 * believed_before);
+}
+
+#[test]
+fn datasheet_swap_keeps_plug_and_play_energy_aware() {
+    let mut b = SystemId::B.build();
+    b.detach_storage(0).expect("supercap module");
+    // Swap in a lithium-ion-capacitor module — a chemistry the platform
+    // has never seen — behind the standard interface.
+    let mut lic = Supercap::lithium_ion_capacitor_40f();
+    lic.set_voltage(Volts::new(3.0));
+    let capacity = lic.capacity();
+    let module = InterfacedStorage::module_4v1(Box::new(lic));
+    let sheet = ElectronicDatasheet::storage(
+        "PNP-LIC40",
+        StorageKind::LithiumIonCapacitor,
+        Watts::from_milli(500.0),
+        capacity,
+    );
+    b.attach_storage(0, Box::new(module), Some(&sheet))
+        .expect("interface circuit present");
+    assert_eq!(b.store_ports()[0].recognized_capacity(), capacity);
+}
+
+#[test]
+fn plug_and_play_harvester_swap_roundtrip() {
+    let mut b = SystemId::B.build();
+    // Pull the wind module (useless indoors), insert a second light
+    // module.
+    let old = b.detach_harvester(1).expect("wind module");
+    assert_eq!(old.harvester().kind(), HarvesterKind::WindTurbine);
+    let (channel, sheet) = system_b::harvester_module(HarvesterKind::Photovoltaic);
+    b.attach_harvester(1, channel, Volts::new(4.1), Some(&sheet))
+        .expect("modules are universal");
+    let kinds: Vec<_> = b
+        .harvester_ports()
+        .iter()
+        .filter_map(|p| p.channel().map(|c| c.harvester().kind()))
+        .collect();
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| **k == HarvesterKind::Photovoltaic)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn occupied_ports_must_be_vacated_first() {
+    let mut g = SystemId::G.build();
+    let err = g
+        .attach_harvester(
+            0,
+            some_channel(HarvesterKind::Piezoelectric),
+            Volts::new(2.0),
+            None,
+        )
+        .unwrap_err();
+    assert!(matches!(err, CompatError::PortOccupied { .. }));
+}
+
+#[test]
+fn swap_preserves_stored_energy_of_removed_device() {
+    // Energy in a removed module leaves with the module.
+    let mut b = SystemId::B.build();
+    let module = b.detach_storage(1).expect("NiMH module");
+    assert!(module.stored_energy().value() > 0.0);
+    // The unit's buffer total shrinks accordingly.
+    let remaining: f64 = b
+        .store_ports()
+        .iter()
+        .filter_map(|p| p.device())
+        .map(|d| d.stored_energy().value())
+        .sum();
+    assert!(remaining < module.stored_energy().value() + remaining + 1.0);
+}
+
+#[test]
+fn builder_allows_fully_custom_architectures() {
+    // The taxonomy spans beyond the seven surveyed points: a fixed
+    // single-source unit (Prometheus-style) classifies as Fixed.
+    let mut cap = Supercap::edlc_1f();
+    cap.set_voltage(Volts::new(3.0));
+    let unit = PowerUnit::builder("prometheus-like")
+        .harvester_port(
+            mseh::core::PortRequirement::harvester_port(
+                "PV",
+                Volts::ZERO,
+                Volts::new(7.0),
+                vec![HarvesterKind::Photovoltaic],
+            ),
+            Some(some_channel(HarvesterKind::Photovoltaic)),
+            false,
+        )
+        .store_port(
+            mseh::core::PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(5.5)),
+            Some(Box::new(cap)),
+            mseh::core::StoreRole::PrimaryBuffer,
+            false,
+        )
+        .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+        .build();
+    let record = mseh::core::classify(&unit);
+    assert_eq!(record.exchangeability(), mseh::core::Exchangeability::Fixed);
+}

@@ -1,0 +1,204 @@
+//! Integration: fault injection — platforms with redundant energy devices
+//! ride through device failures that kill single-device designs.
+
+use mseh::core::{PortRequirement, PowerUnit, StoreRole};
+use mseh::env::{EnvSampler, Environment, ReplayEnvironment, Trace};
+use mseh::harvesters::PvModule;
+use mseh::node::{FixedDuty, SensorNode, VoltageThreshold};
+use mseh::power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
+use mseh::sim::{run_simulation, DegradingHarvester, FailingStorage, SimConfig};
+use mseh::storage::{Battery, Supercap};
+use mseh::units::{DutyCycle, Seconds, Volts, Watts};
+
+fn pv_channel() -> InputChannel {
+    InputChannel::new(
+        Box::new(PvModule::outdoor_panel_half_watt()),
+        Box::new(FractionalVoc::pv_standard()),
+        Box::new(IdealDiode::nanopower()),
+        Box::new(DcDcConverter::mppt_front_end_5v()),
+    )
+}
+
+fn charged_cap() -> Supercap {
+    let mut cap = Supercap::edlc_22f();
+    cap.set_voltage(Volts::new(2.5));
+    cap
+}
+
+fn charged_lipo() -> Battery {
+    let mut b = Battery::lipo_400mah();
+    b.set_soc(0.8);
+    b
+}
+
+/// A solar rig whose primary buffer fails open after `fail_h` hours;
+/// optionally a healthy secondary battery backs it up.
+fn rig(fail_h: f64, with_backup: bool) -> PowerUnit {
+    let failing = FailingStorage::new(Box::new(charged_cap()), Seconds::from_hours(fail_h));
+    let mut builder = PowerUnit::builder("resilience rig")
+        .harvester_port(
+            PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+            Some(pv_channel()),
+            true,
+        )
+        .store_port(
+            PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(failing)),
+            StoreRole::PrimaryBuffer,
+            true,
+        );
+    if with_backup {
+        builder = builder.store_port(
+            PortRequirement::any_in_window("batt", Volts::ZERO, Volts::new(4.3)),
+            Some(Box::new(charged_lipo())),
+            StoreRole::SecondaryBuffer,
+            true,
+        );
+    }
+    builder
+        .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+        .build()
+}
+
+#[test]
+fn single_store_platform_dies_with_its_store() {
+    let mut unit = rig(12.0, false);
+    let result = run_simulation(
+        &mut unit,
+        &Environment::outdoor_temperate(13),
+        &SensorNode::submilliwatt_class(),
+        &mut FixedDuty::new(DutyCycle::saturating(0.1)),
+        SimConfig::over(Seconds::from_days(2.0)),
+    );
+    // After the store fails, every night is an outage.
+    assert!(result.uptime < 0.95, "uptime {}", result.uptime);
+    assert!(result.brownout_steps > 0);
+    assert!(result.audit_residual < 1e-6, "{}", result.audit_residual);
+}
+
+#[test]
+fn redundant_store_carries_the_platform_through() {
+    let mut unit = rig(12.0, true);
+    let result = run_simulation(
+        &mut unit,
+        &Environment::outdoor_temperate(13),
+        &SensorNode::submilliwatt_class(),
+        &mut FixedDuty::new(DutyCycle::saturating(0.1)),
+        SimConfig::over(Seconds::from_days(2.0)),
+    );
+    assert!(result.uptime > 0.99, "uptime {}", result.uptime);
+    assert!(result.audit_residual < 1e-6);
+    // The failed cap really is dead.
+    let cap = unit.store_ports()[0].device().expect("attached");
+    assert_eq!(cap.capacity().value(), 0.0);
+}
+
+#[test]
+fn degrading_panel_reduces_harvest_across_seasons() {
+    let fresh_channel = InputChannel::new(
+        Box::new(PvModule::outdoor_panel_half_watt()),
+        Box::new(FractionalVoc::pv_standard()),
+        Box::new(IdealDiode::nanopower()),
+        Box::new(DcDcConverter::mppt_front_end_5v()),
+    );
+    let tired_channel = InputChannel::new(
+        Box::new(DegradingHarvester::new(
+            Box::new(PvModule::outdoor_panel_half_watt()),
+            Seconds::from_days(10.0),
+            0.3,
+        )),
+        Box::new(FractionalVoc::pv_standard()),
+        Box::new(IdealDiode::nanopower()),
+        Box::new(DcDcConverter::mppt_front_end_5v()),
+    );
+    let build = |channel| {
+        PowerUnit::builder("degradation rig")
+            .harvester_port(
+                PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+                Some(channel),
+                true,
+            )
+            .store_port(
+                PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(3.0)),
+                Some(Box::new(charged_cap())),
+                StoreRole::PrimaryBuffer,
+                true,
+            )
+            .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+            .build()
+    };
+    let env = Environment::outdoor_temperate(17);
+    let node = SensorNode::submilliwatt_class();
+    // Compare day 9 (late in the degrading panel's life).
+    let late = SimConfig::over(Seconds::from_days(1.0)).starting_at(Seconds::from_days(9.0));
+    let mut fresh = build(fresh_channel);
+    let mut tired = build(tired_channel);
+    let fresh_run = run_simulation(
+        &mut fresh,
+        &env,
+        &node,
+        &mut FixedDuty::new(DutyCycle::saturating(0.05)),
+        late,
+    );
+    let tired_run = run_simulation(
+        &mut tired,
+        &env,
+        &node,
+        &mut FixedDuty::new(DutyCycle::saturating(0.05)),
+        late,
+    );
+    let ratio = tired_run.harvested.value() / fresh_run.harvested.value();
+    assert!(
+        (0.25..0.5).contains(&ratio),
+        "degraded/fresh harvest ratio {ratio}"
+    );
+}
+
+#[test]
+fn replayed_site_trace_drives_a_full_simulation() {
+    // A synthetic "measured" irradiance log: a harsh three-day overcast
+    // spell the seeded model would not produce.
+    let mut log = Trace::new("site log");
+    for hour in 0..=72 {
+        let h = hour as f64;
+        let value = if (10.0..14.0).contains(&(h % 24.0)) {
+            60.0
+        } else {
+            0.0
+        };
+        log.push(Seconds::from_hours(h), value);
+    }
+    let env = ReplayEnvironment::new(Environment::outdoor_temperate(3)).with_irradiance(log);
+    // Sanity: the replayed channel is what the platform sees.
+    assert_eq!(
+        env.conditions(Seconds::from_hours(36.0)).irradiance.value(),
+        60.0
+    );
+    let mut unit = PowerUnit::builder("trace rig")
+        .harvester_port(
+            PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+            Some(pv_channel()),
+            true,
+        )
+        .store_port(
+            PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(charged_cap())),
+            StoreRole::PrimaryBuffer,
+            true,
+        )
+        .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+        .build();
+    let result = run_simulation(
+        &mut unit,
+        &env,
+        &SensorNode::submilliwatt_class(),
+        &mut VoltageThreshold::supercap_ladder(),
+        SimConfig::over(Seconds::from_days(3.0)),
+    );
+    // The site's 4 h × 60 W/m² days harvest something but far less than
+    // the synthetic summer (~tens of kJ).
+    assert!(result.harvested.value() > 1.0, "{:?}", result.harvested);
+    assert!(result.harvested.value() < 5_000.0, "{:?}", result.harvested);
+    assert!(result.audit_residual < 1e-6);
+    let _ = Watts::ZERO;
+}

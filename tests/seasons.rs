@@ -1,0 +1,92 @@
+//! Integration: astronomical seasonality reaches the energy books — the
+//! same platform, the same latitude, opposite solstices.
+
+use mseh::core::{PortRequirement, PowerUnit, StoreRole};
+use mseh::env::{Environment, SeasonalSolarModel};
+use mseh::node::{FixedDuty, SensorNode};
+use mseh::power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
+use mseh::sim::{run_simulation, SimConfig};
+use mseh::storage::Supercap;
+use mseh::units::{DutyCycle, Seconds, Volts};
+
+fn solar_rig() -> PowerUnit {
+    let channel = InputChannel::new(
+        Box::new(mseh::harvesters::PvModule::outdoor_panel_half_watt()),
+        Box::new(FractionalVoc::pv_standard()),
+        Box::new(IdealDiode::nanopower()),
+        Box::new(DcDcConverter::mppt_front_end_5v()),
+    );
+    let mut cap = Supercap::edlc_22f();
+    cap.set_voltage(Volts::new(2.2));
+    PowerUnit::builder("seasonal rig")
+        .harvester_port(
+            PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+            Some(channel),
+            true,
+        )
+        .store_port(
+            PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(cap)),
+            StoreRole::PrimaryBuffer,
+            true,
+        )
+        .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+        .build()
+}
+
+fn harvest_on_day(day: f64) -> f64 {
+    let env = Environment::builder(2026)
+        .seasonal_solar(SeasonalSolarModel::at_latitude(50.0, 355))
+        .build();
+    let mut unit = solar_rig();
+    let result = run_simulation(
+        &mut unit,
+        &env,
+        &SensorNode::submilliwatt_class(),
+        &mut FixedDuty::new(DutyCycle::saturating(0.02)),
+        SimConfig::over(Seconds::from_days(1.0)).starting_at(Seconds::from_days(day)),
+    );
+    assert!(result.audit_residual < 1e-6);
+    result.harvested.value()
+}
+
+#[test]
+fn midsummer_harvest_dwarfs_midwinter() {
+    // Epoch is the winter solstice: day 0 is midwinter, day 182 is
+    // midsummer.
+    let winter = harvest_on_day(0.0);
+    let summer = harvest_on_day(182.0);
+    assert!(winter > 0.0, "even midwinter harvests something");
+    assert!(
+        summer > 2.5 * winter,
+        "summer {summer} J vs winter {winter} J"
+    );
+}
+
+#[test]
+fn equinoxes_sit_between_the_solstices() {
+    let winter = harvest_on_day(0.0);
+    let spring = harvest_on_day(91.0);
+    let summer = harvest_on_day(182.0);
+    assert!(spring > winter, "spring {spring} vs winter {winter}");
+    assert!(spring < summer, "spring {spring} vs summer {summer}");
+}
+
+#[test]
+fn southern_hemisphere_flips_the_seasons() {
+    let north = Environment::builder(7)
+        .seasonal_solar(SeasonalSolarModel::at_latitude(50.0, 355))
+        .build();
+    let south = Environment::builder(7)
+        .seasonal_solar(SeasonalSolarModel::at_latitude(-50.0, 355))
+        .build();
+    // At the (northern) winter solstice, noon irradiance in the south is
+    // midsummer-strong.
+    let noon = Seconds::from_hours(12.0);
+    let g_north = north.conditions(noon).irradiance;
+    let g_south = south.conditions(noon).irradiance;
+    assert!(
+        g_south.value() > 1.5 * g_north.value(),
+        "south {g_south} vs north {g_north}"
+    );
+}
