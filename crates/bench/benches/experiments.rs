@@ -1,12 +1,16 @@
-//! Criterion benches: one group per experiment in the DESIGN.md index.
+//! Std-only benches (`cargo bench -p mseh-bench`): one timed kernel per
+//! experiment in the DESIGN.md index, no external harness — the repo
+//! must build with no registry access. Each kernel runs a short warm-up
+//! plus a fixed sample count and prints min/mean per-iteration time;
+//! regressions in the simulator, the platform models or the trackers
+//! show up as mean-time jumps.
 //!
-//! These time the experiment kernels on reduced horizons (the full
-//! paper-shape runs live in `cargo run -p mseh-bench --bin experiments`);
-//! the benched kernels are the same code paths, so regressions in the
-//! simulator, the platform models or the trackers show up here.
+//! The full paper-shape runs live in
+//! `cargo run -p mseh-bench --bin experiments`; thread-scaling numbers
+//! come from `cargo run --release -p mseh-bench --bin perf`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use mseh_bench as bench;
 use mseh_core::classify;
@@ -16,175 +20,123 @@ use mseh_sim::{run_simulation, SimConfig};
 use mseh_systems::SystemId;
 use mseh_units::{DutyCycle, Seconds};
 
-fn t1_table_classification(c: &mut Criterion) {
-    c.bench_function("t1_table1_classification", |b| {
-        b.iter(|| {
-            let (records, rendered) = bench::table1();
-            black_box((records.len(), rendered.len()))
-        })
+/// Times `f` over `samples` iterations after `warmup` iterations and
+/// prints a one-line summary.
+fn time_it<R>(name: &str, warmup: usize, samples: usize, mut f: impl FnMut() -> R) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        let dt = start.elapsed().as_secs_f64();
+        min = min.min(dt);
+        total += dt;
+    }
+    let mean = total / samples as f64;
+    println!(
+        "{name:<34} {samples:>3} iters   mean {:>10.3} ms   min {:>10.3} ms",
+        mean * 1e3,
+        min * 1e3
+    );
+}
+
+fn main() {
+    println!("mseh std-only bench suite (no harness, wall-clock timings)\n");
+
+    time_it("t1_table1_classification", 1, 10, || {
+        let (records, rendered) = bench::table1();
+        (records.len(), rendered.len())
     });
-    c.bench_function("t1_classify_single_platform", |b| {
+    time_it("t1_classify_single_platform", 2, 10, || {
         let unit = SystemId::B.build();
-        b.iter(|| black_box(classify(&unit)))
+        classify(&unit)
     });
-}
+    time_it("fig1_system_a_one_day", 1, 10, || {
+        bench::fig1_system_a(1, 0.5)
+    });
+    time_it("fig2_system_b_hot_swap", 1, 10, || {
+        bench::fig2_system_b(0.25)
+    });
+    time_it("e1_multisource_availability_2d", 1, 10, || {
+        bench::e1_multisource_availability(2.0, 7)
+    });
+    time_it("e2_buffer_sizing_3_sizes_2d", 1, 10, || {
+        bench::e2_buffer_sizing(2.0, 77, &[5.0, 22.0, 100.0])
+    });
+    time_it("e3_mppt_overhead_4_levels", 1, 10, || {
+        bench::e3_mppt_overhead(&[2.0, 20.0, 200.0, 800.0])
+    });
+    time_it("e4_quiescent_tradeoff", 1, 10, || {
+        bench::e4_quiescent_tradeoff(&[0.0005, 0.005, 0.05, 0.2, 0.5, 1.0])
+    });
+    time_it("e5_quiescent_by_system", 1, 10, || {
+        bench::e5_quiescent_by_system()
+    });
+    time_it("e6_swap_compatibility", 1, 10, || {
+        bench::e6_swap_compatibility()
+    });
+    time_it("e7_energy_awareness_2d", 1, 10, || {
+        bench::e7_energy_awareness(2.0, 31)
+    });
+    time_it("e8_smart_harvester", 1, 10, bench::e8_smart_harvester);
+    time_it("e9_storage_characteristics", 1, 10, || {
+        bench::e9_storage_characteristics()
+    });
+    time_it("e10_forecast_policy_2d", 1, 10, || {
+        bench::e10_forecast_policy(2.0, 31)
+    });
+    time_it("a1_capacitance_model", 1, 10, || {
+        bench::a1_capacitance_model()
+    });
+    time_it("a2_leakage", 1, 10, bench::a2_leakage);
+    time_it("a3_converter_efficiency", 1, 10, || {
+        bench::a3_converter_efficiency(&[0.05, 0.5, 5.0, 50.0, 300.0])
+    });
 
-fn fig1_system_a(c: &mut Criterion) {
-    c.bench_function("fig1_system_a_one_day", |b| {
-        b.iter(|| black_box(bench::fig1_system_a(1, 0.5)))
-    });
-}
-
-fn fig2_system_b(c: &mut Criterion) {
-    c.bench_function("fig2_system_b_hot_swap", |b| {
-        b.iter(|| black_box(bench::fig2_system_b(0.25)))
-    });
-}
-
-fn e1_multisource_availability(c: &mut Criterion) {
-    c.bench_function("e1_multisource_availability_2d", |b| {
-        b.iter(|| black_box(bench::e1_multisource_availability(2.0, 7)))
-    });
-}
-
-fn e2_buffer_sizing(c: &mut Criterion) {
-    c.bench_function("e2_buffer_sizing_3_sizes_2d", |b| {
-        b.iter(|| black_box(bench::e2_buffer_sizing(2.0, 77, &[5.0, 22.0, 100.0])))
-    });
-}
-
-fn e3_mppt_overhead(c: &mut Criterion) {
-    c.bench_function("e3_mppt_overhead_4_levels", |b| {
-        b.iter(|| black_box(bench::e3_mppt_overhead(&[2.0, 20.0, 200.0, 800.0])))
-    });
-}
-
-fn e4_quiescent_tradeoff(c: &mut Criterion) {
-    c.bench_function("e4_quiescent_tradeoff", |b| {
-        b.iter(|| {
-            black_box(bench::e4_quiescent_tradeoff(&[
-                0.0005, 0.005, 0.05, 0.2, 0.5, 1.0,
-            ]))
-        })
-    });
-}
-
-fn e5_quiescent_by_system(c: &mut Criterion) {
-    c.bench_function("e5_quiescent_by_system", |b| {
-        b.iter(|| black_box(bench::e5_quiescent_by_system()))
-    });
-}
-
-fn e6_swap_compatibility(c: &mut Criterion) {
-    c.bench_function("e6_swap_compatibility", |b| {
-        b.iter(|| black_box(bench::e6_swap_compatibility()))
-    });
-}
-
-fn e7_energy_awareness(c: &mut Criterion) {
-    c.bench_function("e7_energy_awareness_2d", |b| {
-        b.iter(|| black_box(bench::e7_energy_awareness(2.0, 31)))
-    });
-}
-
-fn e8_smart_harvester(c: &mut Criterion) {
-    c.bench_function("e8_smart_harvester", |b| {
-        b.iter(|| black_box(bench::e8_smart_harvester()))
-    });
-}
-
-fn e9_storage_characteristics(c: &mut Criterion) {
-    c.bench_function("e9_storage_characteristics", |b| {
-        b.iter(|| black_box(bench::e9_storage_characteristics()))
-    });
-}
-
-fn e10_forecast_policy(c: &mut Criterion) {
-    c.bench_function("e10_forecast_policy_2d", |b| {
-        b.iter(|| black_box(bench::e10_forecast_policy(2.0, 31)))
-    });
-}
-
-fn ablations(c: &mut Criterion) {
-    c.bench_function("a1_capacitance_model", |b| {
-        b.iter(|| black_box(bench::a1_capacitance_model()))
-    });
-    c.bench_function("a2_leakage", |b| b.iter(|| black_box(bench::a2_leakage())));
-    c.bench_function("a3_converter_efficiency", |b| {
-        b.iter(|| {
-            black_box(bench::a3_converter_efficiency(&[
-                0.05, 0.5, 5.0, 50.0, 300.0,
-            ]))
-        })
-    });
-}
-
-fn kernel_microbenches(c: &mut Criterion) {
     // The hot inner loops every experiment leans on.
-    c.bench_function("kernel_environment_sample", |b| {
+    {
         let env = Environment::indoor_industrial(42);
         let mut minute = 0u64;
-        b.iter(|| {
-            minute += 1;
-            black_box(env.conditions(Seconds::from_minutes(minute as f64)))
-        })
-    });
-    c.bench_function("kernel_platform_step", |b| {
+        time_it("kernel_environment_sample_x1000", 2, 10, || {
+            let mut last = None;
+            for _ in 0..1000 {
+                minute += 1;
+                last = Some(env.conditions(Seconds::from_minutes(minute as f64)));
+            }
+            last
+        });
+    }
+    {
         let env = Environment::outdoor_temperate(42);
         let noon = env.conditions(Seconds::from_hours(12.0));
-        b.iter_batched(
-            || SystemId::A.build(),
-            |mut unit| {
-                for _ in 0..16 {
-                    black_box(unit.step(
-                        &noon,
-                        Seconds::new(60.0),
-                        mseh_units::Watts::from_milli(1.0),
-                    ));
-                }
-                unit
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("kernel_simulation_6h", |b| {
+        time_it("kernel_platform_step_x16", 2, 10, || {
+            let mut unit = SystemId::A.build();
+            for _ in 0..16 {
+                black_box(unit.step(
+                    &noon,
+                    Seconds::new(60.0),
+                    mseh_units::Watts::from_milli(1.0),
+                ));
+            }
+            unit
+        });
+    }
+    {
         let env = Environment::outdoor_temperate(42);
         let node = SensorNode::submilliwatt_class();
-        b.iter_batched(
-            || SystemId::C.build(),
-            |mut unit| {
-                let mut policy = FixedDuty::new(DutyCycle::saturating(0.05));
-                black_box(run_simulation(
-                    &mut unit,
-                    &env,
-                    &node,
-                    &mut policy,
-                    SimConfig::over(Seconds::from_hours(6.0)),
-                ))
-            },
-            BatchSize::SmallInput,
-        )
-    });
+        time_it("kernel_simulation_6h", 1, 10, || {
+            let mut unit = SystemId::C.build();
+            let mut policy = FixedDuty::new(DutyCycle::saturating(0.05));
+            run_simulation(
+                &mut unit,
+                &env,
+                &node,
+                &mut policy,
+                SimConfig::over(Seconds::from_hours(6.0)),
+            )
+        });
+    }
 }
-
-criterion_group!(
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets =
-        t1_table_classification,
-        fig1_system_a,
-        fig2_system_b,
-        e1_multisource_availability,
-        e2_buffer_sizing,
-        e3_mppt_overhead,
-        e4_quiescent_tradeoff,
-        e5_quiescent_by_system,
-        e6_swap_compatibility,
-        e7_energy_awareness,
-        e8_smart_harvester,
-        e9_storage_characteristics,
-        e10_forecast_policy,
-        ablations,
-        kernel_microbenches,
-);
-criterion_main!(experiments);

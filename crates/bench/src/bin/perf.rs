@@ -1,0 +1,170 @@
+//! Std-only performance harness: measures simulator hot-loop speed
+//! (steps/second) and ensemble throughput at 1/2/4/N worker threads,
+//! then writes `BENCH_sim.json` at the repo root — the tracked baseline
+//! for the bench trajectory.
+//!
+//! ```text
+//! cargo run --release -p mseh-bench --bin perf [output-path]
+//! ```
+//!
+//! The ensemble measurements fan out through the same
+//! [`mseh_sim::run_seed_ensemble_with_threads`] pool the experiments
+//! use, and the harness first asserts that the parallel results are
+//! bit-for-bit identical to the sequential reference, so every recorded
+//! number comes from a verified-equivalent path. Thread scaling only
+//! materializes on multi-core hosts; the JSON records the host's
+//! `available_parallelism` so single-core numbers aren't misread as a
+//! regression.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mseh_env::Environment;
+use mseh_node::{FixedDuty, SensorNode};
+use mseh_sim::{run_seed_ensemble_seq, run_seed_ensemble_with_threads, run_simulation, SimConfig};
+use mseh_systems::SystemId;
+use mseh_units::{DutyCycle, Seconds};
+
+const SINGLE_RUN_DAYS: f64 = 7.0;
+const ENSEMBLE_DAYS: f64 = 2.0;
+const SEEDS: [u64; 16] = [
+    3, 17, 101, 444, 1234, 9000, 31337, 99999, 7, 21, 55, 89, 144, 233, 377, 610,
+];
+
+fn duty() -> FixedDuty {
+    FixedDuty::new(DutyCycle::saturating(0.05))
+}
+
+/// One timed ensemble pass at a given worker count; returns wall
+/// seconds.
+fn time_ensemble(threads: usize, config: SimConfig, node: &SensorNode) -> f64 {
+    let start = Instant::now();
+    let summary = run_seed_ensemble_with_threads(
+        threads,
+        &SEEDS,
+        |_| SystemId::C.build(),
+        Environment::outdoor_temperate,
+        |_| duty(),
+        node,
+        config,
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(summary.runs.len(), SEEDS.len());
+    elapsed
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").to_owned());
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let node = SensorNode::submilliwatt_class();
+
+    // --- Hot-loop speed: one long recorded run, steps/second. -------
+    let single_cfg = SimConfig {
+        record: true,
+        ..SimConfig::over(Seconds::from_days(SINGLE_RUN_DAYS))
+    };
+    let steps = (single_cfg.duration.value() / single_cfg.dt.value()).ceil() as u64;
+    let mut unit = SystemId::C.build();
+    let mut policy = duty();
+    let env = Environment::outdoor_temperate(42);
+    let start = Instant::now();
+    let result = run_simulation(&mut unit, &env, &node, &mut policy, single_cfg);
+    let single_secs = start.elapsed().as_secs_f64();
+    assert!(result.audit_residual < 1e-6);
+    let steps_per_sec = steps as f64 / single_secs;
+    println!(
+        "single run : {SINGLE_RUN_DAYS} days, {steps} steps in {single_secs:.3} s \
+         ({steps_per_sec:.0} steps/s, recording on)"
+    );
+
+    // --- Correctness gate: parallel ≡ sequential, bit for bit. ------
+    let ens_cfg = SimConfig::over(Seconds::from_days(ENSEMBLE_DAYS));
+    let reference = run_seed_ensemble_seq(
+        &SEEDS,
+        |_| SystemId::C.build(),
+        Environment::outdoor_temperate,
+        |_| duty(),
+        &node,
+        ens_cfg,
+    );
+    let parallel = run_seed_ensemble_with_threads(
+        host_threads.max(2),
+        &SEEDS,
+        |_| SystemId::C.build(),
+        Environment::outdoor_temperate,
+        |_| duty(),
+        &node,
+        ens_cfg,
+    );
+    assert_eq!(
+        parallel, reference,
+        "parallel ensemble diverged from sequential reference"
+    );
+    println!(
+        "determinism: parallel ensemble ({} threads) bit-identical to sequential over {} seeds",
+        host_threads.max(2),
+        SEEDS.len()
+    );
+
+    // --- Ensemble throughput at 1/2/4/N threads. --------------------
+    let mut thread_counts = vec![1usize, 2, 4, host_threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let mut rows = Vec::new();
+    let mut base_runs_per_sec = 0.0;
+    for &threads in &thread_counts {
+        // Two passes, keep the faster (steadier on shared hosts).
+        let secs =
+            time_ensemble(threads, ens_cfg, &node).min(time_ensemble(threads, ens_cfg, &node));
+        let runs_per_sec = SEEDS.len() as f64 / secs;
+        if threads == 1 {
+            base_runs_per_sec = runs_per_sec;
+        }
+        let speedup = runs_per_sec / base_runs_per_sec;
+        println!(
+            "ensemble   : {threads:>2} threads  {secs:>7.3} s  {runs_per_sec:>7.2} runs/s  \
+             speedup ×{speedup:.2}"
+        );
+        rows.push((threads, secs, runs_per_sec, speedup));
+    }
+
+    // --- Emit BENCH_sim.json. ---------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"scenario\": \"System C, outdoor temperate, 60 s steps, fixed 5% duty\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"host\": {{ \"available_parallelism\": {host_threads} }},"
+    );
+    let _ = writeln!(json, "  \"single_run\": {{");
+    let _ = writeln!(json, "    \"days\": {SINGLE_RUN_DAYS},");
+    let _ = writeln!(json, "    \"steps\": {steps},");
+    let _ = writeln!(json, "    \"seconds\": {single_secs:.6},");
+    let _ = writeln!(json, "    \"steps_per_sec\": {steps_per_sec:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"ensemble\": {{");
+    let _ = writeln!(json, "    \"seeds\": {},", SEEDS.len());
+    let _ = writeln!(json, "    \"days_per_run\": {ENSEMBLE_DAYS},");
+    let _ = writeln!(json, "    \"parallel_matches_sequential\": true,");
+    let _ = writeln!(json, "    \"by_threads\": [");
+    for (i, (threads, secs, runs_per_sec, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \
+             \"runs_per_sec\": {runs_per_sec:.3}, \"speedup_vs_1\": {speedup:.3} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, json).expect("write BENCH_sim.json");
+    println!("wrote {out_path}");
+}

@@ -12,7 +12,7 @@ use mseh_power::{
     DcDcConverter, FixedPoint, FractionalVoc, IdealDiode, InputChannel, LinearRegulator,
     OperatingPointController, PerturbObserve, PowerStage,
 };
-use mseh_sim::{run_simulation, sweep, SimConfig, SweepPoint};
+use mseh_sim::{par_map, par_sweep, run_simulation, SimConfig, SweepPoint};
 use mseh_storage::{Battery, Storage, Supercap};
 use mseh_units::{DutyCycle, Farads, Joules, Ohms, Seconds, Volts, Watts, WattsPerSqM};
 
@@ -151,31 +151,28 @@ impl fmt::Display for E1Result {
     }
 }
 
-/// Runs E1: the same trace, three source sets.
+/// Runs E1: the same trace, three source sets (one worker per set).
 pub fn e1_multisource_availability(days: f64, seed: u64) -> E1Result {
     let env = Environment::outdoor_temperate(seed);
-    let rows = SourceSet::ALL
-        .iter()
-        .map(|&sources| {
-            let mut unit = platform(sources, 22.0);
-            let steps = (days * 1440.0) as usize;
-            let mut harvested = Joules::ZERO;
-            let mut generating_steps = 0usize;
-            for minute in 0..steps {
-                let t = Seconds::from_minutes(minute as f64);
-                let r = unit.step(&env.conditions(t), Seconds::new(60.0), Watts::ZERO);
-                harvested += r.harvested;
-                if (r.harvested / Seconds::new(60.0)) > Watts::from_micro(50.0) {
-                    generating_steps += 1;
-                }
+    let rows = par_map(&SourceSet::ALL, |&sources| {
+        let mut unit = platform(sources, 22.0);
+        let steps = (days * 1440.0) as usize;
+        let mut harvested = Joules::ZERO;
+        let mut generating_steps = 0usize;
+        for minute in 0..steps {
+            let t = Seconds::from_minutes(minute as f64);
+            let r = unit.step(&env.conditions(t), Seconds::new(60.0), Watts::ZERO);
+            harvested += r.harvested;
+            if (r.harvested / Seconds::new(60.0)) > Watts::from_micro(50.0) {
+                generating_steps += 1;
             }
-            E1Row {
-                sources,
-                harvested,
-                generating_hours_per_day: generating_steps as f64 / 60.0 / days,
-            }
-        })
-        .collect();
+        }
+        E1Row {
+            sources,
+            harvested,
+            generating_hours_per_day: generating_steps as f64 / 60.0 / days,
+        }
+    });
     E1Result { rows, days }
 }
 
@@ -225,8 +222,8 @@ impl fmt::Display for E2Result {
     }
 }
 
-/// Runs E2: sweep buffer size per source set; find the survival
-/// threshold.
+/// Runs E2: sweep buffer size per source set — each buffer size
+/// measured on its own worker — and find the survival threshold.
 pub fn e2_buffer_sizing(days: f64, seed: u64, sizes: &[f64]) -> E2Result {
     let env = Environment::outdoor_temperate(seed);
     let node = SensorNode::submilliwatt_class();
@@ -234,7 +231,7 @@ pub fn e2_buffer_sizing(days: f64, seed: u64, sizes: &[f64]) -> E2Result {
     let mut uptime = Vec::new();
     let mut min_zero = Vec::new();
     for set in SourceSet::ALL {
-        let points: Vec<SweepPoint> = sweep(sizes, |farads| {
+        let points: Vec<SweepPoint> = par_sweep(sizes, |farads| {
             let mut unit = platform(set, farads);
             let r = run_simulation(
                 &mut unit,

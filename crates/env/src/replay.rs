@@ -18,6 +18,24 @@ use mseh_units::{Celsius, GAccel, Lux, MetersPerSecond, Seconds, Watts, WattsPer
 pub trait EnvSampler {
     /// Samples every channel at `t`.
     fn conditions(&self, t: Seconds) -> EnvConditions;
+
+    /// Samples every channel at each instant in `times`, appending into
+    /// `out` (which is cleared first).
+    ///
+    /// The default implementation calls [`EnvSampler::conditions`] per
+    /// instant; samplers with per-call overhead that can be shared
+    /// across a batch (trig tables, noise streams, trace cursors) may
+    /// override this to amortize it. The simulation kernel batches one
+    /// control window at a time through this path.
+    ///
+    /// Implementations must be observationally identical to the
+    /// per-instant path: `conditions_into(&[t]) == [conditions(t)]`
+    /// bit-for-bit, or parallel/sequential ensemble equivalence breaks.
+    fn conditions_into(&self, times: &[Seconds], out: &mut Vec<EnvConditions>) {
+        out.clear();
+        out.reserve(times.len());
+        out.extend(times.iter().map(|&t| self.conditions(t)));
+    }
 }
 
 impl EnvSampler for Environment {

@@ -52,6 +52,25 @@ impl Trace {
         }
     }
 
+    /// Creates an empty trace pre-sized for `capacity` samples, so a
+    /// recorder that knows its step count up front (the simulation
+    /// kernel does) never reallocates mid-run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mseh_env::Trace;
+    ///
+    /// let trace = Trace::with_capacity("store_voltage_v", 10_080);
+    /// assert!(trace.is_empty());
+    /// ```
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        Self {
+            name: name.into(),
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
     /// The channel name.
     pub fn name(&self) -> &str {
         &self.name

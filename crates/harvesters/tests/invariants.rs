@@ -1,13 +1,13 @@
-//! Property-based invariants over every transducer model.
+//! Randomized invariants over every transducer model, driven by the
+//! deterministic [`mseh_units::fuzz::Rng`] (seeds fixed, failures
+//! reproduce exactly).
 
 use mseh_env::EnvConditions;
 use mseh_harvesters::{
     AcDcInput, FlowTurbine, PvModule, Rectenna, Teg, Transducer, VibrationHarvester,
 };
-use mseh_units::{
-    Celsius, GAccel, Hertz, Lux, MetersPerSecond, Seconds, Volts, Watts, WattsPerSqM,
-};
-use proptest::prelude::*;
+use mseh_units::fuzz::Rng;
+use mseh_units::{Celsius, GAccel, Hertz, Lux, MetersPerSecond, Seconds, Volts, WattsPerSqM};
 
 fn menagerie() -> Vec<Box<dyn Transducer>> {
     vec![
@@ -26,111 +26,110 @@ fn menagerie() -> Vec<Box<dyn Transducer>> {
 }
 
 /// A randomized environment covering every channel.
-fn env_strategy() -> impl Strategy<Value = EnvConditions> {
-    (
-        0.0..1200.0f64, // irradiance
-        0.0..2000.0f64, // lux
-        0.0..20.0f64,   // wind
-        -10.0..45.0f64, // ambient
-        0.0..80.0f64,   // hot surface offset
-        0.0..2.0f64,    // vibration g
-        10.0..200.0f64, // vibration Hz
-        0.0..1e-3f64,   // rf W
-        0.0..4.0f64,    // water m/s
-    )
-        .prop_map(|(g, lx, wind, amb, hot, vib, f, rf, water)| {
-            let mut env = EnvConditions::quiescent(Seconds::ZERO);
-            env.irradiance = WattsPerSqM::new(g);
-            env.illuminance = Lux::new(lx);
-            env.wind = MetersPerSecond::new(wind);
-            env.ambient = Celsius::new(amb);
-            env.hot_surface = Celsius::new(amb + hot);
-            env.vibration_amp = GAccel::new(vib);
-            env.vibration_freq = Hertz::new(f);
-            env.rf_incident = Watts::new(rf);
-            env.water_flow = MetersPerSecond::new(water);
-            env
-        })
+fn random_env(rng: &mut Rng) -> EnvConditions {
+    let mut env = EnvConditions::quiescent(Seconds::ZERO);
+    env.irradiance = WattsPerSqM::new(rng.in_range(0.0, 1200.0));
+    env.illuminance = Lux::new(rng.in_range(0.0, 2000.0));
+    env.wind = MetersPerSecond::new(rng.in_range(0.0, 20.0));
+    let ambient = rng.in_range(-10.0, 45.0);
+    env.ambient = Celsius::new(ambient);
+    env.hot_surface = Celsius::new(ambient + rng.in_range(0.0, 80.0));
+    env.vibration_amp = GAccel::new(rng.in_range(0.0, 2.0));
+    env.vibration_freq = Hertz::new(rng.in_range(10.0, 200.0));
+    env.rf_incident = mseh_units::Watts::new(rng.in_range(0.0, 1e-3));
+    env.water_flow = MetersPerSecond::new(rng.in_range(0.0, 4.0));
+    env
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every transducer: current is non-negative and finite at every
-    /// terminal voltage, zero at/above the open-circuit voltage, and the
-    /// I–V curve is non-increasing (passivity).
-    #[test]
-    fn iv_curves_are_passive(env in env_strategy()) {
+/// Every transducer: current is non-negative and finite at every
+/// terminal voltage, zero at/above the open-circuit voltage, and the
+/// I–V curve is non-increasing (passivity).
+#[test]
+fn iv_curves_are_passive() {
+    let mut rng = Rng::new(0x4A0);
+    for _ in 0..48 {
+        let env = random_env(&mut rng);
         for h in menagerie() {
             let voc = h.open_circuit_voltage(&env);
-            prop_assert!(voc.is_finite() && voc.value() >= 0.0, "{}", h.name());
+            assert!(voc.is_finite() && voc.value() >= 0.0, "{}", h.name());
             let mut prev = f64::INFINITY;
             for i in 0..=40 {
                 let v = Volts::new(voc.value().max(1.0) * i as f64 / 40.0 * 1.2);
                 let current = h.current_at(v, &env);
-                prop_assert!(current.value() >= 0.0, "{} at {v}", h.name());
-                prop_assert!(current.is_finite(), "{} at {v}", h.name());
-                prop_assert!(
+                assert!(current.value() >= 0.0, "{} at {v}", h.name());
+                assert!(current.is_finite(), "{} at {v}", h.name());
+                assert!(
                     current.value() <= prev + 1e-12,
-                    "{}: I rose at {v}", h.name()
+                    "{}: I rose at {v}",
+                    h.name()
                 );
                 prev = current.value();
             }
             if voc.value() > 0.0 {
                 let above = h.current_at(voc * 1.01, &env);
-                prop_assert!(above.value() <= 1e-9, "{} conducts above Voc", h.name());
+                assert!(above.value() <= 1e-9, "{} conducts above Voc", h.name());
             }
         }
     }
+}
 
-    /// The numeric MPP is a true maximum: no sampled point on the curve
-    /// delivers more power (within tolerance).
-    #[test]
-    fn mpp_is_maximal(env in env_strategy()) {
+/// The numeric MPP is a true maximum: no sampled point on the curve
+/// delivers more power (within tolerance).
+#[test]
+fn mpp_is_maximal() {
+    let mut rng = Rng::new(0x4A1);
+    for _ in 0..48 {
+        let env = random_env(&mut rng);
         for h in menagerie() {
             let voc = h.open_circuit_voltage(&env);
             let mpp = h.mpp(&env);
-            prop_assert!(mpp.power().value() >= -1e-15);
+            assert!(mpp.power().value() >= -1e-15);
             for i in 1..40 {
                 let v = voc * (i as f64 / 40.0);
                 let p = h.power_at(v, &env);
-                prop_assert!(
+                assert!(
                     p.value() <= mpp.power().value() * (1.0 + 1e-6) + 1e-12,
-                    "{}: P({v}) = {p} beats MPP {}", h.name(), mpp.power()
+                    "{}: P({v}) = {p} beats MPP {}",
+                    h.name(),
+                    mpp.power()
                 );
             }
         }
     }
+}
 
-    /// A dead environment yields a dead source (except the external
-    /// AC/DC input, which is environment-independent by design).
-    #[test]
-    fn quiescent_environment_yields_nothing(_x in 0..1u8) {
-        let env = EnvConditions::quiescent(Seconds::ZERO);
-        for h in menagerie() {
-            if h.kind() == mseh_harvesters::HarvesterKind::ExternalAcDc {
-                continue;
-            }
-            prop_assert!(
-                h.mpp(&env).power().value() <= 1e-12,
-                "{} produces power from nothing", h.name()
-            );
+/// A dead environment yields a dead source (except the external
+/// AC/DC input, which is environment-independent by design).
+#[test]
+fn quiescent_environment_yields_nothing() {
+    let env = EnvConditions::quiescent(Seconds::ZERO);
+    for h in menagerie() {
+        if h.kind() == mseh_harvesters::HarvesterKind::ExternalAcDc {
+            continue;
         }
+        assert!(
+            h.mpp(&env).power().value() <= 1e-12,
+            "{} produces power from nothing",
+            h.name()
+        );
     }
+}
 
-    /// Monotone resource response: more irradiance never reduces PV MPP
-    /// power; more wind below rated never reduces turbine MPP power.
-    #[test]
-    fn resource_monotonicity(g1 in 0.0..1000.0f64, g2 in 0.0..1000.0f64) {
+/// Monotone resource response: more irradiance never reduces PV MPP
+/// power; more wind below rated never reduces turbine MPP power.
+#[test]
+fn resource_monotonicity() {
+    let mut rng = Rng::new(0x4A2);
+    for _ in 0..64 {
+        let g1 = rng.in_range(0.0, 1000.0);
+        let g2 = rng.in_range(0.0, 1000.0);
         let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
         let pv = PvModule::outdoor_panel_half_watt();
         let mut env_lo = EnvConditions::quiescent(Seconds::ZERO);
         env_lo.irradiance = WattsPerSqM::new(lo);
         let mut env_hi = env_lo;
         env_hi.irradiance = WattsPerSqM::new(hi);
-        prop_assert!(
-            pv.mpp(&env_hi).power().value() >= pv.mpp(&env_lo).power().value() - 1e-12
-        );
+        assert!(pv.mpp(&env_hi).power().value() >= pv.mpp(&env_lo).power().value() - 1e-12);
 
         let wind = FlowTurbine::micro_wind();
         let (w_lo, w_hi) = (lo / 1000.0 * 9.0, hi / 1000.0 * 9.0); // within rated span
@@ -138,27 +137,30 @@ proptest! {
         env_lo.wind = MetersPerSecond::new(w_lo);
         let mut env_hi = env_lo;
         env_hi.wind = MetersPerSecond::new(w_hi);
-        prop_assert!(
-            wind.mpp(&env_hi).power().value() >= wind.mpp(&env_lo).power().value() - 1e-12
-        );
+        assert!(wind.mpp(&env_hi).power().value() >= wind.mpp(&env_lo).power().value() - 1e-12);
     }
+}
 
-    /// Thevenin consistency: for the Thevenin-backed sources the MPP sits
-    /// at half the open-circuit voltage.
-    #[test]
-    fn thevenin_mpp_at_half_voc(dt in 5.0..60.0f64, wind in 3.0..8.9f64) {
+/// Thevenin consistency: for the Thevenin-backed sources the MPP sits
+/// at half the open-circuit voltage.
+#[test]
+fn thevenin_mpp_at_half_voc() {
+    let mut rng = Rng::new(0x4A3);
+    for _ in 0..64 {
+        let dt = rng.in_range(5.0, 60.0);
+        let wind = rng.in_range(3.0, 8.9);
         let teg = Teg::module_40mm();
         let mut env = EnvConditions::quiescent(Seconds::ZERO);
         env.hot_surface = Celsius::new(20.0 + dt);
         let mpp = teg.mpp(&env);
         let voc = teg.open_circuit_voltage(&env);
-        prop_assert!((mpp.voltage.value() - 0.5 * voc.value()).abs() < 1e-5);
+        assert!((mpp.voltage.value() - 0.5 * voc.value()).abs() < 1e-5);
 
         let turbine = FlowTurbine::micro_wind();
         let mut env = EnvConditions::quiescent(Seconds::ZERO);
         env.wind = MetersPerSecond::new(wind);
         let mpp = turbine.mpp(&env);
         let voc = turbine.open_circuit_voltage(&env);
-        prop_assert!((mpp.voltage.value() - 0.5 * voc.value()).abs() < 1e-5);
+        assert!((mpp.voltage.value() - 0.5 * voc.value()).abs() < 1e-5);
     }
 }

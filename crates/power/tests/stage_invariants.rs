@@ -1,10 +1,12 @@
-//! Property-based invariants over every power stage.
+//! Randomized invariants over every power stage, driven by the
+//! deterministic [`mseh_units::fuzz::Rng`] (seeds fixed, failures
+//! reproduce exactly).
 
 use mseh_power::{
     DcDcConverter, DiodeStage, EfficiencyCurve, IdealDiode, LinearRegulator, PowerStage, Topology,
 };
+use mseh_units::fuzz::Rng;
 use mseh_units::{Amps, Efficiency, Volts, Watts};
-use proptest::prelude::*;
 
 fn stages() -> Vec<Box<dyn PowerStage>> {
     vec![
@@ -29,29 +31,36 @@ fn stages() -> Vec<Box<dyn PowerStage>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No stage creates power: output ≤ input, both non-negative and
-    /// finite, for any input power and voltage.
-    #[test]
-    fn stages_never_gain(p_mw in 0.0..500.0f64, v in 0.0..20.0f64) {
-        let p_in = Watts::from_milli(p_mw);
-        let v_in = Volts::new(v);
+/// No stage creates power: output ≤ input, both non-negative and
+/// finite, for any input power and voltage.
+#[test]
+fn stages_never_gain() {
+    let mut rng = Rng::new(0x900);
+    for _ in 0..64 {
+        let p_in = Watts::from_milli(rng.in_range(0.0, 500.0));
+        let v_in = Volts::new(rng.in_range(0.0, 20.0));
         for stage in stages() {
             let out = stage.output_for_input(p_in, v_in);
-            prop_assert!(out.value() >= 0.0, "{}", stage.name());
-            prop_assert!(out.is_finite(), "{}", stage.name());
-            prop_assert!(out <= p_in + Watts::new(1e-15), "{} gained power", stage.name());
+            assert!(out.value() >= 0.0, "{}", stage.name());
+            assert!(out.is_finite(), "{}", stage.name());
+            assert!(
+                out <= p_in + Watts::new(1e-15),
+                "{} gained power",
+                stage.name()
+            );
         }
     }
+}
 
-    /// `input_for_output` inverts `output_for_input` (within numeric
-    /// tolerance) whenever the stage accepts the voltage and the output
-    /// is within its rating.
-    #[test]
-    fn transfer_roundtrip(p_mw in 0.001..50.0f64, v in 0.3..18.0f64) {
-        let v_in = Volts::new(v);
+/// `input_for_output` inverts `output_for_input` (within numeric
+/// tolerance) whenever the stage accepts the voltage and the output
+/// is within its rating.
+#[test]
+fn transfer_roundtrip() {
+    let mut rng = Rng::new(0x901);
+    for _ in 0..64 {
+        let p_mw = rng.in_range(0.001, 50.0);
+        let v_in = Volts::new(rng.in_range(0.3, 18.0));
         for stage in stages() {
             if !stage.accepts_input_voltage(v_in) {
                 continue;
@@ -63,17 +72,21 @@ proptest! {
             }
             let back = stage.output_for_input(p_in, v_in);
             let achievable = p_out.min(back.max(p_out)); // rating clamps
-            prop_assert!(
+            assert!(
                 (back - achievable).abs().value() <= 1e-6 * achievable.value().max(1e-9),
-                "{}: {p_out} -> {p_in} -> {back}", stage.name()
+                "{}: {p_out} -> {p_in} -> {back}",
+                stage.name()
             );
         }
     }
+}
 
-    /// Monotonicity: more input power never yields less output.
-    #[test]
-    fn output_monotone_in_input(v in 0.5..15.0f64) {
-        let v_in = Volts::new(v);
+/// Monotonicity: more input power never yields less output.
+#[test]
+fn output_monotone_in_input() {
+    let mut rng = Rng::new(0x902);
+    for _ in 0..64 {
+        let v_in = Volts::new(rng.in_range(0.5, 15.0));
         for stage in stages() {
             if !stage.accepts_input_voltage(v_in) {
                 continue;
@@ -81,28 +94,34 @@ proptest! {
             let mut prev = Watts::ZERO;
             for mw in [0.01, 0.1, 1.0, 10.0, 100.0, 400.0] {
                 let out = stage.output_for_input(Watts::from_milli(mw), v_in);
-                prop_assert!(
+                assert!(
                     out >= prev - Watts::new(1e-12),
-                    "{} output fell at {mw} mW", stage.name()
+                    "{} output fell at {mw} mW",
+                    stage.name()
                 );
                 prev = out;
             }
         }
     }
+}
 
-    /// Rejected voltages transfer nothing (and quiescent draw is always
-    /// reported non-negative and finite).
-    #[test]
-    fn rejected_voltages_block_transfer(p_mw in 0.1..100.0f64, v in 0.0..30.0f64) {
-        let v_in = Volts::new(v);
+/// Rejected voltages transfer nothing (and quiescent draw is always
+/// reported non-negative and finite).
+#[test]
+fn rejected_voltages_block_transfer() {
+    let mut rng = Rng::new(0x903);
+    for _ in 0..64 {
+        let p_mw = rng.in_range(0.1, 100.0);
+        let v_in = Volts::new(rng.in_range(0.0, 30.0));
         for stage in stages() {
-            prop_assert!(stage.quiescent().value() >= 0.0);
-            prop_assert!(stage.quiescent().is_finite());
+            assert!(stage.quiescent().value() >= 0.0);
+            assert!(stage.quiescent().is_finite());
             if !stage.accepts_input_voltage(v_in) {
-                prop_assert_eq!(
+                assert_eq!(
                     stage.output_for_input(Watts::from_milli(p_mw), v_in),
                     Watts::ZERO,
-                    "{} leaked through a rejected voltage", stage.name()
+                    "{} leaked through a rejected voltage",
+                    stage.name()
                 );
             }
         }

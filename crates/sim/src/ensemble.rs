@@ -2,6 +2,7 @@
 //! and summarize the spread — the robustness check behind every claim in
 //! `EXPERIMENTS.md`.
 
+use crate::parallel::{par_map_with, thread_count};
 use crate::platform::Platform;
 use crate::runner::{run_simulation, SimConfig, SimResult};
 use mseh_env::Environment;
@@ -16,14 +17,54 @@ pub struct Spread {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Sample standard deviation (0 for a single observation).
+    pub std_dev: f64,
+    /// Median (mean of the two central observations for even counts).
+    pub median: f64,
 }
 
 impl Spread {
-    fn of(values: &[f64]) -> Self {
-        let mean = values.iter().sum::<f64>() / values.len() as f64;
+    /// Summarizes a non-empty slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = mseh_sim::Spread::of(&[1.0, 2.0, 3.0, 10.0]);
+    /// assert_eq!(s.mean, 4.0);
+    /// assert_eq!(s.median, 2.5);
+    /// assert!(s.std_dev > 0.0);
+    /// ```
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "need at least one observation");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { mean, min, max }
+        let std_dev = if values.len() < 2 {
+            0.0
+        } else {
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        };
+        Self {
+            mean,
+            min,
+            max,
+            std_dev,
+            median,
+        }
     }
 }
 
@@ -42,11 +83,18 @@ pub struct EnsembleSummary {
     pub runs: Vec<SimResult>,
 }
 
-/// Runs the scenario once per seed and summarizes.
+/// Runs the scenario once per seed — fanned out across the worker pool
+/// ([`thread_count`] threads; `MSEH_THREADS` overrides) — and
+/// summarizes.
 ///
 /// `make_platform` builds a fresh platform per run (state must not leak
 /// between seeds); `make_env` maps a seed to its environment;
-/// `make_policy` builds a fresh policy per run.
+/// `make_policy` builds a fresh policy per run. The factories are
+/// shared by reference across workers, hence the `Fn + Sync` bounds.
+///
+/// Results are seed-aligned and bit-for-bit identical to the sequential
+/// path ([`run_seed_ensemble_seq`]) at any thread count: every run is a
+/// pure function of its seed, and [`crate::par_map`] preserves order.
 ///
 /// # Panics
 ///
@@ -85,6 +133,72 @@ pub struct EnsembleSummary {
 /// ```
 pub fn run_seed_ensemble<P, F, E, G, Q>(
     seeds: &[u64],
+    make_platform: F,
+    make_env: E,
+    make_policy: G,
+    node: &SensorNode,
+    config: SimConfig,
+) -> EnsembleSummary
+where
+    P: Platform,
+    F: Fn(u64) -> P + Sync,
+    E: Fn(u64) -> Environment + Sync,
+    G: Fn(u64) -> Q + Sync,
+    Q: DutyCyclePolicy,
+{
+    run_seed_ensemble_with_threads(
+        thread_count(),
+        seeds,
+        make_platform,
+        make_env,
+        make_policy,
+        node,
+        config,
+    )
+}
+
+/// [`run_seed_ensemble`] with an explicit worker count (`1` runs inline
+/// on the calling thread).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or `threads` is zero.
+pub fn run_seed_ensemble_with_threads<P, F, E, G, Q>(
+    threads: usize,
+    seeds: &[u64],
+    make_platform: F,
+    make_env: E,
+    make_policy: G,
+    node: &SensorNode,
+    config: SimConfig,
+) -> EnsembleSummary
+where
+    P: Platform,
+    F: Fn(u64) -> P + Sync,
+    E: Fn(u64) -> Environment + Sync,
+    G: Fn(u64) -> Q + Sync,
+    Q: DutyCyclePolicy,
+{
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs = par_map_with(threads, seeds, |&seed| {
+        let mut platform = make_platform(seed);
+        let env = make_env(seed);
+        let mut policy = make_policy(seed);
+        run_simulation(&mut platform, &env, node, &mut policy, config)
+    });
+    summarize(seeds, runs)
+}
+
+/// The sequential reference implementation of [`run_seed_ensemble`]:
+/// same contract, one run at a time on the calling thread. Accepts
+/// `FnMut` factories (they are never shared), so stateful builders that
+/// cannot be `Sync` still have an entry point.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_seed_ensemble_seq<P, F, E, G, Q>(
+    seeds: &[u64],
     mut make_platform: F,
     mut make_env: E,
     mut make_policy: G,
@@ -108,6 +222,10 @@ where
             run_simulation(&mut platform, &env, node, &mut policy, config)
         })
         .collect();
+    summarize(seeds, runs)
+}
+
+fn summarize(seeds: &[u64], runs: Vec<SimResult>) -> EnsembleSummary {
     let harvested: Vec<f64> = runs.iter().map(|r| r.harvested.value()).collect();
     let uptime: Vec<f64> = runs.iter().map(|r| r.uptime).collect();
     let samples: Vec<f64> = runs.iter().map(|r| r.samples).collect();
@@ -173,6 +291,58 @@ mod tests {
         // Every run's books balance.
         for run in &summary.runs {
             assert!(run.audit_residual < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spread_reports_dispersion() {
+        let s = Spread::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+        // Known sample std-dev of this set ≈ 2.138.
+        assert!((s.std_dev - 2.138).abs() < 0.01, "{}", s.std_dev);
+
+        let odd = Spread::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(odd.median, 2.0);
+
+        let single = Spread::of(&[7.5]);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.median, 7.5);
+        assert_eq!(single.mean, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn spread_rejects_empty() {
+        Spread::of(&[]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let seeds = [11u64, 22, 33, 44, 55, 66];
+        let node = mseh_node::SensorNode::submilliwatt_class();
+        let config = SimConfig::over(Seconds::from_hours(6.0));
+        let seq = run_seed_ensemble_seq(
+            &seeds,
+            |_| solar_rig(),
+            Environment::outdoor_temperate,
+            |_| FixedDuty::new(DutyCycle::saturating(0.05)),
+            &node,
+            config,
+        );
+        for threads in [1, 2, 4] {
+            let par = run_seed_ensemble_with_threads(
+                threads,
+                &seeds,
+                |_| solar_rig(),
+                Environment::outdoor_temperate,
+                |_| FixedDuty::new(DutyCycle::saturating(0.05)),
+                &node,
+                config,
+            );
+            assert_eq!(par, seq, "threads = {threads}");
         }
     }
 

@@ -13,6 +13,12 @@
 //! threshold search (minimum buffer size) and crossover location (where
 //! MPPT starts paying off).
 //!
+//! Ensembles and sweeps fan out across a dependency-free scoped worker
+//! pool ([`par_map`]; `MSEH_THREADS` sets the width, default
+//! [`std::thread::available_parallelism`]). Because every run is a pure
+//! function of its seed, parallel output is bit-for-bit identical to
+//! sequential output at any thread count.
+//!
 //! # Examples
 //!
 //! ```
@@ -57,12 +63,20 @@
 
 mod ensemble;
 mod fault;
+mod parallel;
 mod platform;
 mod runner;
 mod sweep;
 
-pub use ensemble::{run_seed_ensemble, EnsembleSummary, Spread};
+pub use ensemble::{
+    run_seed_ensemble, run_seed_ensemble_seq, run_seed_ensemble_with_threads, EnsembleSummary,
+    Spread,
+};
 pub use fault::{DegradingHarvester, FailingStorage};
+pub use parallel::{par_map, par_map_with, thread_count};
 pub use platform::Platform;
 pub use runner::{run_simulation, SimConfig, SimResult, SimTraces};
-pub use sweep::{crossover, day_grid, first_meeting, geometric_grid, sweep, SweepPoint};
+pub use sweep::{
+    crossover, day_grid, first_meeting, geometric_grid, par_sweep, par_sweep_with_threads, sweep,
+    SweepPoint,
+};

@@ -2,9 +2,9 @@
 //! environment, recording time series and enforcing energy conservation.
 
 use crate::platform::Platform;
-use mseh_env::{EnvSampler, Trace};
+use mseh_env::{EnvConditions, EnvSampler, Trace};
 use mseh_node::{DutyCyclePolicy, SensorNode};
-use mseh_units::{DutyCycle, Joules, Seconds, Volts};
+use mseh_units::{Joules, Seconds, Volts};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,7 +167,6 @@ pub fn run_simulation(
     let initial_stored = platform.total_stored_energy();
     let initial_losses = platform.storage_losses();
 
-    let mut duty = DutyCycle::ZERO;
     let mut samples = 0.0;
     let mut harvested = Joules::ZERO;
     let mut delivered = Joules::ZERO;
@@ -183,57 +182,77 @@ pub fn run_simulation(
     let mut min_v = Volts::new(f64::INFINITY);
 
     let mut traces = config.record.then(|| SimTraces {
-        store_voltage: Trace::new("store_voltage_v"),
-        harvest_power: Trace::new("harvest_power_w"),
-        duty: Trace::new("duty_cycle"),
+        store_voltage: Trace::with_capacity("store_voltage_v", steps as usize),
+        harvest_power: Trace::with_capacity("harvest_power_w", steps as usize),
+        duty: Trace::with_capacity("duty_cycle", steps as usize),
     });
 
-    for i in 0..steps {
-        let t = config.start_at + Seconds::new(i as f64 * config.dt.value());
-        if i % control_every == 0 {
-            duty = policy.choose(node, &platform.energy_status().at(t));
-        }
-        let conditions = env.conditions(t);
+    // The loop advances one control window at a time: the policy's duty
+    // choice — and everything derived purely from it (the node's average
+    // load and per-step demand) — is loop-invariant inside a window, so
+    // it is computed once on the window edge instead of every step.
+    // Ambient conditions for the whole window are sampled in one
+    // batched `conditions_into` call so samplers can amortize per-step
+    // trig/noise setup.
+    let time_at =
+        |i: u64| -> Seconds { config.start_at + Seconds::new(i as f64 * config.dt.value()) };
+    let window_cap = control_every.min(steps) as usize;
+    let mut times: Vec<Seconds> = Vec::with_capacity(window_cap);
+    let mut conditions: Vec<EnvConditions> = Vec::with_capacity(window_cap);
+
+    let mut window_start = 0u64;
+    while window_start < steps {
+        let window_end = (window_start + control_every).min(steps);
+        let duty = policy.choose(node, &platform.energy_status().at(time_at(window_start)));
         let load = node.average_power(duty);
-        let report = platform.step(&conditions, config.dt, load);
-
-        harvested += report.harvested;
-        delivered += report.delivered;
-        shortfall += report.shortfall;
-        charged += report.charged;
-        discharged += report.discharged;
-        spilled += report.spilled;
-        overheads += report.overhead;
-        demanded += load * config.dt;
-
         let demand = node.step(duty, config.dt);
-        let served_fraction = if report.shortfall.value() > 0.0 {
-            let full = (report.delivered + report.shortfall).value();
-            if full > 0.0 {
-                report.delivered.value() / full
+        let load_energy = load * config.dt;
+
+        times.clear();
+        times.extend((window_start..window_end).map(time_at));
+        env.conditions_into(&times, &mut conditions);
+
+        for (j, &t) in times.iter().enumerate() {
+            let report = platform.step(&conditions[j], config.dt, load);
+
+            harvested += report.harvested;
+            delivered += report.delivered;
+            shortfall += report.shortfall;
+            charged += report.charged;
+            discharged += report.discharged;
+            spilled += report.spilled;
+            overheads += report.overhead;
+            demanded += load_energy;
+
+            let served_fraction = if report.shortfall.value() > 0.0 {
+                let full = (report.delivered + report.shortfall).value();
+                if full > 0.0 {
+                    report.delivered.value() / full
+                } else {
+                    0.0
+                }
             } else {
-                0.0
+                1.0
+            };
+            samples += demand.samples * served_fraction;
+
+            if report.shortfall.value() > 1e-12 {
+                brownout_steps += 1;
+                outage_run += 1;
+                longest_outage = longest_outage.max(outage_run);
+            } else {
+                outage_run = 0;
             }
-        } else {
-            1.0
-        };
-        samples += demand.samples * served_fraction;
+            min_v = min_v.min(report.store_voltage);
 
-        if report.shortfall.value() > 1e-12 {
-            brownout_steps += 1;
-            outage_run += 1;
-            longest_outage = longest_outage.max(outage_run);
-        } else {
-            outage_run = 0;
+            if let Some(tr) = traces.as_mut() {
+                tr.store_voltage.push(t, report.store_voltage.value());
+                tr.harvest_power
+                    .push(t, (report.harvested / config.dt).value());
+                tr.duty.push(t, duty.value());
+            }
         }
-        min_v = min_v.min(report.store_voltage);
-
-        if let Some(tr) = traces.as_mut() {
-            tr.store_voltage.push(t, report.store_voltage.value());
-            tr.harvest_power
-                .push(t, (report.harvested / config.dt).value());
-            tr.duty.push(t, duty.value());
-        }
+        window_start = window_end;
     }
 
     // Audit. Bus: harvested + discharged − charged − spilled = served
@@ -280,6 +299,7 @@ mod tests {
     use mseh_node::FixedDuty;
     use mseh_power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
     use mseh_storage::Supercap;
+    use mseh_units::DutyCycle;
 
     fn solar_unit() -> PowerUnit {
         let channel = InputChannel::new(

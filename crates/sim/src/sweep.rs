@@ -2,6 +2,7 @@
 //! simulations over a parameter grid and collect one summary value per
 //! point.
 
+use crate::parallel::{par_map_with, thread_count};
 use mseh_units::Seconds;
 
 /// One point of a sweep: the swept parameter value and the measured
@@ -34,6 +35,44 @@ pub fn sweep(parameters: &[f64], mut measure: impl FnMut(f64) -> f64) -> Vec<Swe
         .collect()
 }
 
+/// [`sweep`] fanned out across the worker pool
+/// ([`thread_count`](crate::thread_count) workers; `MSEH_THREADS`
+/// overrides): each grid point's measurement runs on its own worker,
+/// and the returned points stay grid-aligned.
+///
+/// `measure` is shared by reference across workers, hence `Fn + Sync`
+/// instead of `sweep`'s `FnMut`. Grid points whose measurement is a
+/// pure function of the parameter (every simulation-backed sweep in the
+/// bench harness qualifies) produce output identical to [`sweep`].
+///
+/// # Examples
+///
+/// ```
+/// use mseh_sim::{par_sweep, sweep};
+///
+/// let grid = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(par_sweep(&grid, |x| x * x), sweep(&grid, |x| x * x));
+/// ```
+pub fn par_sweep(parameters: &[f64], measure: impl Fn(f64) -> f64 + Sync) -> Vec<SweepPoint> {
+    par_sweep_with_threads(thread_count(), parameters, measure)
+}
+
+/// [`par_sweep`] with an explicit worker count (`1` runs inline).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn par_sweep_with_threads(
+    threads: usize,
+    parameters: &[f64],
+    measure: impl Fn(f64) -> f64 + Sync,
+) -> Vec<SweepPoint> {
+    par_map_with(threads, parameters, |&parameter| SweepPoint {
+        parameter,
+        outcome: measure(parameter),
+    })
+}
+
 /// Finds the smallest parameter in an ascending sweep whose outcome meets
 /// `threshold` (`outcome >= threshold`), if any — the "minimum buffer
 /// size for zero downtime" pattern of experiment E2.
@@ -44,7 +83,9 @@ pub fn first_meeting(points: &[SweepPoint], threshold: f64) -> Option<SweepPoint
 /// Locates the crossover between two outcome series measured on the same
 /// ascending parameter grid: the first parameter at which series `a`'s
 /// outcome overtakes series `b`'s. Returns `None` when `a` never
-/// overtakes (or the grids differ).
+/// overtakes, or when the grids differ — in length *or* in any
+/// parameter value, since comparing outcomes measured at different
+/// parameters is meaningless.
 ///
 /// Used by experiment E3 to find the harvest level where MPPT starts
 /// paying for its overhead.
@@ -52,12 +93,12 @@ pub fn crossover(a: &[SweepPoint], b: &[SweepPoint]) -> Option<f64> {
     if a.len() != b.len() {
         return None;
     }
+    if a.iter().zip(b).any(|(pa, pb)| pa.parameter != pb.parameter) {
+        return None;
+    }
     a.iter()
         .zip(b)
-        .find(|(pa, pb)| {
-            debug_assert_eq!(pa.parameter, pb.parameter, "grids must match");
-            pa.outcome > pb.outcome
-        })
+        .find(|(pa, pb)| pa.outcome > pb.outcome)
         .map(|(pa, _)| pa.parameter)
 }
 
@@ -108,6 +149,34 @@ mod tests {
         assert_eq!(crossover(&b, &a), Some(1.0));
         assert_eq!(crossover(&a, &a), None);
         assert_eq!(crossover(&a, &b[..2]), None);
+    }
+
+    #[test]
+    fn crossover_rejects_mismatched_grids() {
+        let a = sweep(&[1.0, 2.0, 3.0], |x| x * x);
+        // Same length, different parameter values: outcomes are not
+        // comparable, even though a's outcomes overtake b's everywhere.
+        let b = sweep(&[1.0, 2.5, 3.0], |x| x);
+        assert_eq!(crossover(&a, &b), None);
+        assert_eq!(crossover(&b, &a), None);
+        // An exactly matching grid still works.
+        let c = sweep(&[1.0, 2.0, 3.0], |x| x);
+        assert_eq!(crossover(&a, &c), Some(2.0));
+    }
+
+    #[test]
+    fn par_sweep_matches_sequential() {
+        let grid = geometric_grid(0.1, 100.0, 13);
+        let measure = |x: f64| (x * 1.7).sin() + x.sqrt();
+        let seq = sweep(&grid, measure);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                par_sweep_with_threads(threads, &grid, measure),
+                seq,
+                "threads = {threads}"
+            );
+        }
+        assert_eq!(par_sweep(&grid, measure), seq);
     }
 
     #[test]

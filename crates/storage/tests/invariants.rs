@@ -1,8 +1,10 @@
-//! Property-based invariants over every storage implementation.
+//! Randomized invariants over every storage implementation, driven by
+//! the deterministic [`mseh_units::fuzz::Rng`] (seeds fixed, failures
+//! reproduce exactly).
 
 use mseh_storage::{Battery, FuelCell, Storage, Supercap};
+use mseh_units::fuzz::Rng;
 use mseh_units::{Joules, Seconds, Watts};
-use proptest::prelude::*;
 
 /// Every storage device available for fuzzing, fresh.
 fn all_devices() -> Vec<Box<dyn Storage>> {
@@ -26,67 +28,83 @@ enum Action {
     Idle(f64),
 }
 
-fn action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0.0..2.0f64, 0.1..600.0f64).prop_map(|(p, t)| Action::Charge(p, t)),
-        (0.0..2.0f64, 0.1..600.0f64).prop_map(|(p, t)| Action::Discharge(p, t)),
-        (0.1..36_000.0f64).prop_map(Action::Idle),
-    ]
+fn action(rng: &mut Rng) -> Action {
+    match rng.index(3) {
+        0 => Action::Charge(rng.in_range(0.0, 2.0), rng.in_range(0.1, 600.0)),
+        1 => Action::Discharge(rng.in_range(0.0, 2.0), rng.in_range(0.1, 600.0)),
+        _ => Action::Idle(rng.in_range(0.1, 36_000.0)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn action_sequence(rng: &mut Rng) -> Vec<Action> {
+    let len = 1 + rng.index(39);
+    (0..len).map(|_| action(rng)).collect()
+}
 
-    /// Under any action sequence: SoC stays in [0, 1], voltage stays in
-    /// the device window, stored energy stays in [0, capacity], and all
-    /// reported amounts are non-negative and finite.
-    #[test]
-    fn state_stays_in_bounds(actions in proptest::collection::vec(action(), 1..40)) {
+/// Under any action sequence: SoC stays in [0, 1], voltage stays in
+/// the device window, stored energy stays in [0, capacity], and all
+/// reported amounts are non-negative and finite.
+#[test]
+fn state_stays_in_bounds() {
+    let mut rng = Rng::new(0x570);
+    for _ in 0..64 {
+        let actions = action_sequence(&mut rng);
         for mut dev in all_devices() {
             for &a in &actions {
                 let (taken, delivered) = match a {
-                    Action::Charge(p, t) =>
-                        (dev.charge(Watts::new(p), Seconds::new(t)), Joules::ZERO),
-                    Action::Discharge(p, t) =>
-                        (Joules::ZERO, dev.discharge(Watts::new(p), Seconds::new(t))),
+                    Action::Charge(p, t) => {
+                        (dev.charge(Watts::new(p), Seconds::new(t)), Joules::ZERO)
+                    }
+                    Action::Discharge(p, t) => {
+                        (Joules::ZERO, dev.discharge(Watts::new(p), Seconds::new(t)))
+                    }
                     Action::Idle(t) => {
                         dev.idle(Seconds::new(t));
                         (Joules::ZERO, Joules::ZERO)
                     }
                 };
-                prop_assert!(taken.value() >= 0.0 && taken.is_finite());
-                prop_assert!(delivered.value() >= 0.0 && delivered.is_finite());
+                assert!(taken.value() >= 0.0 && taken.is_finite());
+                assert!(delivered.value() >= 0.0 && delivered.is_finite());
 
                 let soc = dev.soc().value();
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&soc), "{} soc {soc}", dev.name());
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&soc),
+                    "{} soc {soc}",
+                    dev.name()
+                );
                 let v = dev.voltage();
-                prop_assert!(
+                assert!(
                     v >= dev.min_voltage() - mseh_units::Volts::new(1e-9)
                         && v <= dev.max_voltage() + mseh_units::Volts::new(1e-9),
-                    "{} voltage {v} outside window", dev.name()
+                    "{} voltage {v} outside window",
+                    dev.name()
                 );
                 let e = dev.stored_energy();
-                prop_assert!(e.value() >= -1e-9);
-                prop_assert!(e <= dev.capacity() + Joules::new(1e-6));
-                prop_assert!(dev.losses().value() >= -1e-9);
+                assert!(e.value() >= -1e-9);
+                assert!(e <= dev.capacity() + Joules::new(1e-6));
+                assert!(dev.losses().value() >= -1e-9);
             }
         }
     }
+}
 
-    /// Conservation: energy_in = energy_out + losses + Δstored for every
-    /// device and action sequence.
-    #[test]
-    fn energy_is_conserved(actions in proptest::collection::vec(action(), 1..40)) {
+/// Conservation: energy_in = energy_out + losses + Δstored for every
+/// device and action sequence.
+#[test]
+fn energy_is_conserved() {
+    let mut rng = Rng::new(0x571);
+    for _ in 0..64 {
+        let actions = action_sequence(&mut rng);
         for mut dev in all_devices() {
             let initial = dev.stored_energy();
             let mut total_in = Joules::ZERO;
             let mut total_out = Joules::ZERO;
             for &a in &actions {
                 match a {
-                    Action::Charge(p, t) =>
-                        total_in += dev.charge(Watts::new(p), Seconds::new(t)),
-                    Action::Discharge(p, t) =>
-                        total_out += dev.discharge(Watts::new(p), Seconds::new(t)),
+                    Action::Charge(p, t) => total_in += dev.charge(Watts::new(p), Seconds::new(t)),
+                    Action::Discharge(p, t) => {
+                        total_out += dev.discharge(Watts::new(p), Seconds::new(t))
+                    }
                     Action::Idle(t) => dev.idle(Seconds::new(t)),
                 }
             }
@@ -95,49 +113,65 @@ proptest! {
                 - dev.losses().value()
                 - dev.stored_energy().value();
             let scale = (initial.value() + total_in.value()).max(1.0);
-            prop_assert!(
+            assert!(
                 balance.abs() < 1e-6 * scale,
-                "{}: conservation violated by {balance} J", dev.name()
+                "{}: conservation violated by {balance} J",
+                dev.name()
             );
         }
     }
+}
 
-    /// Charging never takes more than requested power × time; discharge
-    /// never delivers more than requested.
-    #[test]
-    fn transfers_bounded_by_request(p in 0.0..5.0f64, t in 0.1..3600.0f64) {
+/// Charging never takes more than requested power × time; discharge
+/// never delivers more than requested.
+#[test]
+fn transfers_bounded_by_request() {
+    let mut rng = Rng::new(0x572);
+    for _ in 0..64 {
+        let p = rng.in_range(0.0, 5.0);
+        let t = rng.in_range(0.1, 3600.0);
         for mut dev in all_devices() {
             let req = Joules::new(p * t);
             let taken = dev.charge(Watts::new(p), Seconds::new(t));
-            prop_assert!(taken <= req + Joules::new(1e-9), "{}", dev.name());
+            assert!(taken <= req + Joules::new(1e-9), "{}", dev.name());
             let delivered = dev.discharge(Watts::new(p), Seconds::new(t));
-            prop_assert!(delivered <= req + Joules::new(1e-9), "{}", dev.name());
+            assert!(delivered <= req + Joules::new(1e-9), "{}", dev.name());
         }
     }
+}
 
-    /// Non-rechargeable devices never accept energy.
-    #[test]
-    fn primaries_refuse_charge(p in 0.0..10.0f64, t in 0.1..3600.0f64) {
+/// Non-rechargeable devices never accept energy.
+#[test]
+fn primaries_refuse_charge() {
+    let mut rng = Rng::new(0x573);
+    for _ in 0..64 {
+        let p = rng.in_range(0.0, 10.0);
+        let t = rng.in_range(0.1, 3600.0);
         let mut primary = Battery::li_primary_aa();
         let mut fc = FuelCell::hydrogen_cartridge();
-        prop_assert_eq!(primary.charge(Watts::new(p), Seconds::new(t)), Joules::ZERO);
-        prop_assert_eq!(fc.charge(Watts::new(p), Seconds::new(t)), Joules::ZERO);
+        assert_eq!(primary.charge(Watts::new(p), Seconds::new(t)), Joules::ZERO);
+        assert_eq!(fc.charge(Watts::new(p), Seconds::new(t)), Joules::ZERO);
     }
+}
 
-    /// Idle never increases stored energy.
-    #[test]
-    fn idle_is_monotone_decreasing(t in 0.1..1e6f64, soc in 0.0..1.0f64) {
+/// Idle never increases stored energy.
+#[test]
+fn idle_is_monotone_decreasing() {
+    let mut rng = Rng::new(0x574);
+    for _ in 0..64 {
+        let t = 10f64.powf(rng.in_range(-1.0, 6.0));
+        let soc = rng.in_range(0.0, 1.0);
         let mut cap = Supercap::edlc_22f();
         let v = cap.min_voltage().lerp(cap.max_voltage(), soc);
         cap.set_voltage(v);
         let before = cap.stored_energy();
         cap.idle(Seconds::new(t));
-        prop_assert!(cap.stored_energy() <= before + Joules::new(1e-12));
+        assert!(cap.stored_energy() <= before + Joules::new(1e-12));
 
         let mut batt = Battery::lipo_400mah();
         batt.set_soc(soc);
         let before = batt.stored_energy();
         batt.idle(Seconds::new(t));
-        prop_assert!(batt.stored_energy() <= before + Joules::new(1e-12));
+        assert!(batt.stored_energy() <= before + Joules::new(1e-12));
     }
 }

@@ -85,10 +85,7 @@ mod tests {
         assert_eq!(r.swappable_harvesters, 0);
         assert_eq!(r.swappable_storage, 0);
         assert!(!r.digital_interface);
-        assert_eq!(
-            r.energy_monitoring,
-            mseh_node::MonitoringLevel::None
-        );
+        assert_eq!(r.energy_monitoring, mseh_node::MonitoringLevel::None);
     }
 
     #[test]

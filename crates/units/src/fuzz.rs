@@ -1,0 +1,114 @@
+//! A tiny deterministic pseudo-random generator for randomized tests.
+//!
+//! The workspace's randomized invariant tests (unit algebra, storage
+//! bounds, transducer passivity, conservation) draw their inputs from
+//! this SplitMix64 stream instead of an external property-testing
+//! crate, keeping the whole workspace buildable with no network access.
+//! Seeds are fixed in each test, so failures reproduce exactly.
+//!
+//! This is a *test* utility: it is deliberately minimal (no shrinking,
+//! no distributions beyond uniform) and must never be used as a model
+//! noise source — simulation randomness lives in `mseh-env`'s
+//! counter-based `Noise`.
+
+/// SplitMix64: a tiny, high-quality, deterministic 64-bit generator
+/// (Steele, Lea & Flood, OOPSLA 2014). One `u64` of state, one seed,
+/// reproducible forever.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_units::fuzz::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.in_range(1e-9, 1e6);
+/// assert!((1e-9..1e6).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator with a fixed seed (same seed ⇒ same stream).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        // 53 mantissa bits of the raw stream.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_well_spread() {
+        let mut rng = Rng::new(7);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = Rng::new(7);
+        let second: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+
+        let mut rng = Rng::new(123);
+        let mut mean = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x));
+            mean += x;
+        }
+        mean /= 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = Rng::new(9);
+        for _ in 0..1000 {
+            let x = rng.in_range(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn rejects_inverted_range() {
+        Rng::new(0).in_range(2.0, 1.0);
+    }
+}

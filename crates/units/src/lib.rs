@@ -47,6 +47,7 @@ mod quantity;
 mod electrical;
 mod energy;
 mod environment;
+pub mod fuzz;
 mod ratio;
 mod si;
 mod time;

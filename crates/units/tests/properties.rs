@@ -1,102 +1,150 @@
-//! Property-based tests on the unit-quantity algebra.
+//! Randomized invariant tests on the unit-quantity algebra, driven by
+//! the deterministic [`mseh_units::fuzz::Rng`] (no external
+//! property-testing crate; seeds are fixed so failures reproduce).
 
+use mseh_units::fuzz::Rng;
 use mseh_units::{Amps, Efficiency, Farads, Joules, Ohms, Seconds, Volts, Watts};
-use proptest::prelude::*;
+
+const CASES: usize = 256;
 
 /// A finite, reasonably-sized positive scalar for physics values.
-fn pos() -> impl Strategy<Value = f64> {
-    1e-9..1e6
+fn pos(rng: &mut Rng) -> f64 {
+    // Log-uniform over [1e-9, 1e6) so small and large magnitudes are
+    // exercised equally.
+    10f64.powf(rng.in_range(-9.0, 6.0))
 }
 
 /// A finite scalar of either sign.
-fn signed() -> impl Strategy<Value = f64> {
-    -1e6..1e6
+fn signed(rng: &mut Rng) -> f64 {
+    rng.in_range(-1e6, 1e6)
 }
 
-proptest! {
-    /// `(V · I) / V = I` for all non-degenerate values.
-    #[test]
-    fn power_law_roundtrip(v in pos(), i in pos()) {
+/// `(V · I) / V = I` for all non-degenerate values.
+#[test]
+fn power_law_roundtrip() {
+    let mut rng = Rng::new(0x501);
+    for _ in 0..CASES {
+        let (v, i) = (pos(&mut rng), pos(&mut rng));
         let p: Watts = Volts::new(v) * Amps::new(i);
         let i2: Amps = p / Volts::new(v);
-        prop_assert!((i2.value() - i).abs() <= 1e-9 * i.abs().max(1.0));
+        assert!(
+            (i2.value() - i).abs() <= 1e-9 * i.abs().max(1.0),
+            "v={v} i={i}"
+        );
     }
+}
 
-    /// Ohm's law is self-consistent: `(V / R) · R = V`.
-    #[test]
-    fn ohms_law_roundtrip(v in pos(), r in pos()) {
+/// Ohm's law is self-consistent: `(V / R) · R = V`.
+#[test]
+fn ohms_law_roundtrip() {
+    let mut rng = Rng::new(0x502);
+    for _ in 0..CASES {
+        let (v, r) = (pos(&mut rng), pos(&mut rng));
         let i: Amps = Volts::new(v) / Ohms::new(r);
         let v2: Volts = i * Ohms::new(r);
-        prop_assert!((v2.value() - v).abs() <= 1e-9 * v.abs().max(1.0));
+        assert!(
+            (v2.value() - v).abs() <= 1e-9 * v.abs().max(1.0),
+            "v={v} r={r}"
+        );
     }
+}
 
-    /// Energy integration is consistent: `(P · t) / t = P`.
-    #[test]
-    fn energy_roundtrip(p in pos(), t in pos()) {
+/// Energy integration is consistent: `(P · t) / t = P`.
+#[test]
+fn energy_roundtrip() {
+    let mut rng = Rng::new(0x503);
+    for _ in 0..CASES {
+        let (p, t) = (pos(&mut rng), pos(&mut rng));
         let e: Joules = Watts::new(p) * Seconds::new(t);
         let p2: Watts = e / Seconds::new(t);
-        prop_assert!((p2.value() - p).abs() <= 1e-9 * p.abs().max(1.0));
+        assert!(
+            (p2.value() - p).abs() <= 1e-9 * p.abs().max(1.0),
+            "p={p} t={t}"
+        );
     }
+}
 
-    /// Capacitor energy ↔ voltage conversion is a bijection on v ≥ 0.
-    #[test]
-    fn capacitor_energy_voltage_bijection(c in pos(), v in 0.0..1e3) {
+/// Capacitor energy ↔ voltage conversion is a bijection on v ≥ 0.
+#[test]
+fn capacitor_energy_voltage_bijection() {
+    let mut rng = Rng::new(0x504);
+    for _ in 0..CASES {
+        let c = pos(&mut rng);
+        let v = rng.in_range(0.0, 1e3);
         let cap = Farads::new(c);
         let v2 = cap.voltage_at_energy(cap.stored_energy(Volts::new(v)));
-        prop_assert!((v2.value() - v).abs() <= 1e-7 * v.max(1.0));
+        assert!((v2.value() - v).abs() <= 1e-7 * v.max(1.0), "c={c} v={v}");
     }
+}
 
-    /// Addition of same-unit quantities is commutative and `ZERO` is
-    /// the identity.
-    #[test]
-    fn addition_laws(a in signed(), b in signed()) {
+/// Addition of same-unit quantities is commutative and `ZERO` is the
+/// identity.
+#[test]
+fn addition_laws() {
+    let mut rng = Rng::new(0x505);
+    for _ in 0..CASES {
+        let (a, b) = (signed(&mut rng), signed(&mut rng));
         let (qa, qb) = (Watts::new(a), Watts::new(b));
-        prop_assert_eq!(qa + qb, qb + qa);
-        prop_assert_eq!(qa + Watts::ZERO, qa);
-        prop_assert_eq!((qa - qa).value(), 0.0);
+        assert_eq!(qa + qb, qb + qa);
+        assert_eq!(qa + Watts::ZERO, qa);
+        assert_eq!((qa - qa).value(), 0.0);
     }
+}
 
-    /// `saturating` always lands in [0, 1], and `new` accepts exactly that
-    /// interval.
-    #[test]
-    fn efficiency_range(x in -10.0..10.0f64) {
+/// `saturating` always lands in [0, 1], and `new` accepts exactly that
+/// interval.
+#[test]
+fn efficiency_range() {
+    let mut rng = Rng::new(0x506);
+    for _ in 0..CASES {
+        let x = rng.in_range(-10.0, 10.0);
         let sat = Efficiency::saturating(x);
-        prop_assert!((0.0..=1.0).contains(&sat.value()));
+        assert!((0.0..=1.0).contains(&sat.value()), "x={x}");
         let ok = Efficiency::new(x).is_ok();
-        prop_assert_eq!(ok, (0.0..=1.0).contains(&x));
+        assert_eq!(ok, (0.0..=1.0).contains(&x), "x={x}");
     }
+}
 
-    /// Cascading efficiencies never exceeds either stage.
-    #[test]
-    fn cascade_never_gains(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+/// Cascading efficiencies never exceeds either stage.
+#[test]
+fn cascade_never_gains() {
+    let mut rng = Rng::new(0x507);
+    for _ in 0..CASES {
+        let (a, b) = (rng.in_range(0.0, 1.0), rng.in_range(0.0, 1.0));
         let (ea, eb) = (Efficiency::saturating(a), Efficiency::saturating(b));
         let c = ea * eb;
-        prop_assert!(c.value() <= ea.value() + 1e-12);
-        prop_assert!(c.value() <= eb.value() + 1e-12);
+        assert!(c.value() <= ea.value() + 1e-12, "a={a} b={b}");
+        assert!(c.value() <= eb.value() + 1e-12, "a={a} b={b}");
     }
+}
 
-    /// Lerp at the endpoints returns the endpoints.
-    #[test]
-    fn lerp_endpoints(a in signed(), b in signed()) {
+/// Lerp at the endpoints returns the endpoints.
+#[test]
+fn lerp_endpoints() {
+    let mut rng = Rng::new(0x508);
+    for _ in 0..CASES {
+        let (a, b) = (signed(&mut rng), signed(&mut rng));
         let (qa, qb) = (Volts::new(a), Volts::new(b));
-        prop_assert_eq!(qa.lerp(qb, 0.0), qa);
-        prop_assert!((qa.lerp(qb, 1.0) - qb).abs().value() <= 1e-9 * b.abs().max(1.0));
+        assert_eq!(qa.lerp(qb, 0.0), qa);
+        assert!(
+            (qa.lerp(qb, 1.0) - qb).abs().value() <= 1e-9 * b.abs().max(1.0),
+            "a={a} b={b}"
+        );
     }
+}
 
-    /// SI display is always parseable back within rounding error for
-    /// positive magnitudes in the supported prefix span.
-    #[test]
-    fn display_magnitude_sane(x in 1e-11..1e11) {
+/// SI display is always parseable back within rounding error for
+/// positive magnitudes in the supported prefix span.
+#[test]
+fn display_magnitude_sane() {
+    let mut rng = Rng::new(0x509);
+    for _ in 0..CASES {
+        let x = 10f64.powf(rng.in_range(-11.0, 11.0));
         let s = Watts::new(x).to_string();
-        prop_assert!(s.ends_with('W'));
-        let mantissa: f64 = s
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        assert!(s.ends_with('W'), "{s}");
+        let mantissa: f64 = s.split_whitespace().next().unwrap().parse().unwrap();
         // Engineering notation keeps the mantissa in [1, 1000) except for
         // rounding at the boundary.
-        prop_assert!((0.999..1000.5).contains(&mantissa), "{s}");
+        assert!((0.999..1000.5).contains(&mantissa), "{s}");
     }
 }

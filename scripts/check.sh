@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The tier-1 gate as one command: build, test, and (when the tools are
+# installed) format + lint checks. Everything runs offline — the
+# workspace has no external dependencies by design.
+#
+#   ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> cargo fmt not installed; skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping"
+fi
+
+echo "==> all checks passed"

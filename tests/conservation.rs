@@ -1,5 +1,7 @@
-//! Property-based integration tests: energy conservation and determinism
+//! Randomized integration tests: energy conservation and determinism
 //! hold for arbitrary platform configurations, loads and horizons.
+//! Inputs come from the deterministic [`mseh::units::fuzz::Rng`]
+//! (seeds fixed, failures reproduce exactly).
 
 use mseh::core::{PortRequirement, PowerUnit, StoreRole};
 use mseh::env::Environment;
@@ -11,8 +13,8 @@ use mseh::power::{
 };
 use mseh::sim::{run_simulation, SimConfig};
 use mseh::storage::{Battery, FuelCell, Storage, Supercap};
+use mseh::units::fuzz::Rng;
 use mseh::units::{DutyCycle, Seconds, Volts};
-use proptest::prelude::*;
 
 /// Builds the i-th harvester flavour.
 fn harvester(i: u8) -> Box<dyn mseh::harvesters::Transducer> {
@@ -96,20 +98,35 @@ fn build_platform(harvesters: &[(u8, u8)], stores: &[(u8, f64)]) -> PowerUnit {
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random list of `(harvester flavour, controller flavour)` pairs.
+fn random_harvesters(rng: &mut Rng) -> Vec<(u8, u8)> {
+    let len = 1 + rng.index(3);
+    (0..len)
+        .map(|_| (rng.index(6) as u8, rng.index(4) as u8))
+        .collect()
+}
 
-    /// Storage-side conservation closes for any platform shape, any
-    /// environment, any duty cycle.
-    #[test]
-    fn conservation_closes_for_arbitrary_platforms(
-        harvesters in proptest::collection::vec((0u8..6, 0u8..4), 1..4),
-        stores in proptest::collection::vec((0u8..4, 0.0..1.0f64), 1..4),
-        env_kind in 0u8..4,
-        duty in 0.0..1.0f64,
-        seed in 0u64..1000,
-        hours in 2.0..24.0f64,
-    ) {
+/// A random list of `(storage flavour, state of charge)` pairs.
+fn random_stores(rng: &mut Rng) -> Vec<(u8, f64)> {
+    let len = 1 + rng.index(3);
+    (0..len)
+        .map(|_| (rng.index(4) as u8, rng.in_range(0.0, 1.0)))
+        .collect()
+}
+
+/// Storage-side conservation closes for any platform shape, any
+/// environment, any duty cycle.
+#[test]
+fn conservation_closes_for_arbitrary_platforms() {
+    let mut rng = Rng::new(0xC0);
+    for _ in 0..24 {
+        let harvesters = random_harvesters(&mut rng);
+        let stores = random_stores(&mut rng);
+        let env_kind = rng.index(4);
+        let duty = rng.in_range(0.0, 1.0);
+        let seed = rng.index(1000) as u64;
+        let hours = rng.in_range(2.0, 24.0);
+
         let mut unit = build_platform(&harvesters, &stores);
         let env = match env_kind {
             0 => Environment::outdoor_temperate(seed),
@@ -124,20 +141,25 @@ proptest! {
             &mut FixedDuty::new(DutyCycle::saturating(duty)),
             SimConfig::over(Seconds::from_hours(hours)),
         );
-        prop_assert!(result.audit_residual < 1e-6,
-            "residual {}", result.audit_residual);
+        assert!(
+            result.audit_residual < 1e-6,
+            "residual {} (harvesters {harvesters:?}, stores {stores:?})",
+            result.audit_residual
+        );
         // Uptime and samples are well-formed.
-        prop_assert!((0.0..=1.0).contains(&result.uptime));
-        prop_assert!(result.samples >= 0.0);
-        prop_assert!(result.harvested.value() >= 0.0);
+        assert!((0.0..=1.0).contains(&result.uptime));
+        assert!(result.samples >= 0.0);
+        assert!(result.harvested.value() >= 0.0);
     }
+}
 
-    /// Identical configuration + seed ⇒ bit-identical results.
-    #[test]
-    fn simulation_is_deterministic(
-        seed in 0u64..500,
-        duty in 0.0..1.0f64,
-    ) {
+/// Identical configuration + seed ⇒ bit-identical results.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng::new(0xC1);
+    for _ in 0..16 {
+        let seed = rng.index(500) as u64;
+        let duty = rng.in_range(0.0, 1.0);
         let run = || {
             let mut unit = build_platform(&[(0, 1), (1, 2)], &[(0, 0.5)]);
             run_simulation(
@@ -149,16 +171,20 @@ proptest! {
             )
         };
         let (a, b) = (run(), run());
-        prop_assert_eq!(a.harvested, b.harvested);
-        prop_assert_eq!(a.delivered, b.delivered);
-        prop_assert_eq!(a.shortfall, b.shortfall);
-        prop_assert_eq!(a.samples, b.samples);
+        assert_eq!(a.harvested, b.harvested);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.shortfall, b.shortfall);
+        assert_eq!(a.samples, b.samples);
     }
+}
 
-    /// Higher duty never yields more uptime and never fewer demanded
-    /// samples-at-full-power: monotonicity smoke checks.
-    #[test]
-    fn duty_monotonicity(seed in 0u64..200) {
+/// Higher duty never yields more uptime and never fewer demanded
+/// samples-at-full-power: monotonicity smoke checks.
+#[test]
+fn duty_monotonicity() {
+    let mut rng = Rng::new(0xC2);
+    for _ in 0..8 {
+        let seed = rng.index(200) as u64;
         let run_at = |duty: f64| {
             let mut unit = build_platform(&[(0, 1)], &[(0, 0.6)]);
             run_simulation(
@@ -171,8 +197,12 @@ proptest! {
         };
         let low = run_at(0.05);
         let high = run_at(0.9);
-        prop_assert!(high.uptime <= low.uptime + 1e-9,
-            "high-duty uptime {} vs low {}", high.uptime, low.uptime);
-        prop_assert!(high.shortfall >= low.shortfall - mseh::units::Joules::new(1e-9));
+        assert!(
+            high.uptime <= low.uptime + 1e-9,
+            "high-duty uptime {} vs low {}",
+            high.uptime,
+            low.uptime
+        );
+        assert!(high.shortfall >= low.shortfall - mseh::units::Joules::new(1e-9));
     }
 }

@@ -78,12 +78,7 @@ fn multi_source_dominance_is_seed_robust() {
     let solar = ensemble(true, false);
     let wind = ensemble(false, true);
     let both = ensemble(true, true);
-    for ((s, w), b) in solar
-        .runs
-        .iter()
-        .zip(&wind.runs)
-        .zip(&both.runs)
-    {
+    for ((s, w), b) in solar.runs.iter().zip(&wind.runs).zip(&both.runs) {
         assert!(b.harvested.value() >= s.harvested.value() * 0.99);
         assert!(b.harvested.value() >= w.harvested.value() * 0.99);
     }
