@@ -1,11 +1,17 @@
 //! Std-only performance harness: measures simulator hot-loop speed
-//! (steps/second) and ensemble throughput at 1/2/4/N worker threads,
-//! then writes `BENCH_sim.json` at the repo root — the tracked baseline
-//! for the bench trajectory.
+//! (steps/second), observability overhead (bare vs no-op-observed vs
+//! fully instrumented), and ensemble throughput at 1/2/4/N worker
+//! threads, then writes `BENCH_sim.json` at the repo root — the tracked
+//! baseline for the bench trajectory.
 //!
 //! ```text
-//! cargo run --release -p mseh-bench --bin perf [output-path]
+//! cargo run --release -p mseh-bench --bin perf [--quick] [output-path]
 //! ```
+//!
+//! `--quick` shrinks every budget (shorter horizons, fewer seeds) and
+//! writes to `target/BENCH_sim_quick.json` instead of the tracked
+//! baseline — the CI smoke mode; pass an explicit path to override
+//! either default.
 //!
 //! The ensemble measurements fan out through the same
 //! [`mseh_sim::run_seed_ensemble_with_threads`] pool the experiments
@@ -21,12 +27,16 @@ use std::time::Instant;
 
 use mseh_env::Environment;
 use mseh_node::{FixedDuty, SensorNode};
-use mseh_sim::{run_seed_ensemble_seq, run_seed_ensemble_with_threads, run_simulation, SimConfig};
+use mseh_sim::{
+    run_seed_ensemble_seq, run_seed_ensemble_with_threads, run_simulation, run_simulation_observed,
+    ConservationAuditor, MetricsObserver, SimConfig, SimResult,
+};
 use mseh_systems::SystemId;
 use mseh_units::{DutyCycle, Seconds};
 
 const SINGLE_RUN_DAYS: f64 = 7.0;
 const ENSEMBLE_DAYS: f64 = 2.0;
+const OVERHEAD_DAYS: f64 = 2.0;
 const SEEDS: [u64; 16] = [
     3, 17, 101, 444, 1234, 9000, 31337, 99999, 7, 21, 55, 89, 144, 233, 377, 610,
 ];
@@ -35,13 +45,21 @@ fn duty() -> FixedDuty {
     FixedDuty::new(DutyCycle::saturating(0.05))
 }
 
+/// Step count for a config, matching the runner's truncate-plus-
+/// fractional-final-step policy.
+fn step_count(config: SimConfig) -> u64 {
+    let full = (config.duration.value() / config.dt.value()).floor();
+    let rem = config.duration.value() - full * config.dt.value();
+    full as u64 + u64::from(rem > config.dt.value() * 1e-9)
+}
+
 /// One timed ensemble pass at a given worker count; returns wall
 /// seconds.
-fn time_ensemble(threads: usize, config: SimConfig, node: &SensorNode) -> f64 {
+fn time_ensemble(threads: usize, seeds: &[u64], config: SimConfig, node: &SensorNode) -> f64 {
     let start = Instant::now();
     let summary = run_seed_ensemble_with_threads(
         threads,
-        &SEEDS,
+        seeds,
         |_| SystemId::C.build(),
         Environment::outdoor_temperate,
         |_| duty(),
@@ -49,23 +67,89 @@ fn time_ensemble(threads: usize, config: SimConfig, node: &SensorNode) -> f64 {
         config,
     );
     let elapsed = start.elapsed().as_secs_f64();
-    assert_eq!(summary.runs.len(), SEEDS.len());
+    assert_eq!(summary.runs.len(), seeds.len());
     elapsed
 }
 
+/// How the overhead benchmark drives the kernel.
+#[derive(Clone, Copy, PartialEq)]
+enum Attach {
+    /// `run_simulation` — the plain entry point.
+    Bare,
+    /// `run_simulation_observed` with an empty observer slice.
+    NoopObserved,
+    /// `run_simulation_observed` with metrics + conservation auditor.
+    Instrumented,
+}
+
+/// Best-of-3 wall seconds for one run under the given attachment.
+fn time_attach(attach: Attach, config: SimConfig, node: &SensorNode) -> (f64, SimResult) {
+    let env = Environment::outdoor_temperate(42);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..3 {
+        let mut unit = SystemId::C.build();
+        let mut policy = duty();
+        let start = Instant::now();
+        let result = match attach {
+            Attach::Bare => run_simulation(&mut unit, &env, node, &mut policy, config),
+            Attach::NoopObserved => {
+                run_simulation_observed(&mut unit, &env, node, &mut policy, config, &mut [])
+            }
+            Attach::Instrumented => {
+                let mut meter = MetricsObserver::new();
+                let mut auditor = ConservationAuditor::new();
+                let result = run_simulation_observed(
+                    &mut unit,
+                    &env,
+                    node,
+                    &mut policy,
+                    config,
+                    &mut [&mut meter, &mut auditor],
+                );
+                assert!(auditor.report().worst_relative < 1e-6);
+                result
+            }
+        };
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(result);
+    }
+    (best, last.expect("ran"))
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").to_owned());
+    let mut quick = false;
+    let mut out_arg: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => out_arg = Some(other.to_owned()),
+        }
+    }
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let out_path = out_arg.unwrap_or_else(|| {
+        if quick {
+            // The smoke run must never overwrite the tracked baseline.
+            format!("{repo_root}/target/BENCH_sim_quick.json")
+        } else {
+            format!("{repo_root}/BENCH_sim.json")
+        }
+    });
+    let (single_days, ensemble_days, overhead_days) = if quick {
+        (0.5, 0.25, 0.25)
+    } else {
+        (SINGLE_RUN_DAYS, ENSEMBLE_DAYS, OVERHEAD_DAYS)
+    };
+    let seeds: &[u64] = if quick { &SEEDS[..4] } else { &SEEDS };
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let node = SensorNode::submilliwatt_class();
 
     // --- Hot-loop speed: one long recorded run, steps/second. -------
     let single_cfg = SimConfig {
         record: true,
-        ..SimConfig::over(Seconds::from_days(SINGLE_RUN_DAYS))
+        ..SimConfig::over(Seconds::from_days(single_days))
     };
-    let steps = (single_cfg.duration.value() / single_cfg.dt.value()).ceil() as u64;
+    let steps = step_count(single_cfg);
     let mut unit = SystemId::C.build();
     let mut policy = duty();
     let env = Environment::outdoor_temperate(42);
@@ -75,14 +159,40 @@ fn main() {
     assert!(result.audit_residual < 1e-6);
     let steps_per_sec = steps as f64 / single_secs;
     println!(
-        "single run : {SINGLE_RUN_DAYS} days, {steps} steps in {single_secs:.3} s \
+        "single run : {single_days} days, {steps} steps in {single_secs:.3} s \
          ({steps_per_sec:.0} steps/s, recording on)"
     );
 
+    // --- Observability overhead: bare vs no-op vs instrumented. -----
+    let overhead_cfg = SimConfig::over(Seconds::from_days(overhead_days));
+    let overhead_steps = step_count(overhead_cfg) as f64;
+    let (bare_secs, bare_result) = time_attach(Attach::Bare, overhead_cfg, &node);
+    let (noop_secs, noop_result) = time_attach(Attach::NoopObserved, overhead_cfg, &node);
+    let (inst_secs, inst_result) = time_attach(Attach::Instrumented, overhead_cfg, &node);
+    // Observation must not perturb the physics, whatever it costs.
+    assert_eq!(
+        bare_result, noop_result,
+        "no-op observation changed results"
+    );
+    assert_eq!(bare_result, inst_result, "instrumentation changed results");
+    let bare_sps = overhead_steps / bare_secs;
+    let noop_sps = overhead_steps / noop_secs;
+    let inst_sps = overhead_steps / inst_secs;
+    let noop_overhead_pct = (noop_secs / bare_secs - 1.0) * 100.0;
+    let inst_overhead_pct = (inst_secs / bare_secs - 1.0) * 100.0;
+    println!("overhead   : bare         {bare_sps:>9.0} steps/s");
+    println!("overhead   : no observer  {noop_sps:>9.0} steps/s  ({noop_overhead_pct:+.2} %)");
+    println!("overhead   : instrumented {inst_sps:>9.0} steps/s  ({inst_overhead_pct:+.2} %)");
+    assert!(
+        noop_overhead_pct <= 3.0,
+        "observability wiring costs {noop_overhead_pct:.2} % with no observer attached \
+         (budget: 3 %)"
+    );
+
     // --- Correctness gate: parallel ≡ sequential, bit for bit. ------
-    let ens_cfg = SimConfig::over(Seconds::from_days(ENSEMBLE_DAYS));
+    let ens_cfg = SimConfig::over(Seconds::from_days(ensemble_days));
     let reference = run_seed_ensemble_seq(
-        &SEEDS,
+        seeds,
         |_| SystemId::C.build(),
         Environment::outdoor_temperate,
         |_| duty(),
@@ -91,7 +201,7 @@ fn main() {
     );
     let parallel = run_seed_ensemble_with_threads(
         host_threads.max(2),
-        &SEEDS,
+        seeds,
         |_| SystemId::C.build(),
         Environment::outdoor_temperate,
         |_| duty(),
@@ -105,7 +215,7 @@ fn main() {
     println!(
         "determinism: parallel ensemble ({} threads) bit-identical to sequential over {} seeds",
         host_threads.max(2),
-        SEEDS.len()
+        seeds.len()
     );
 
     // --- Ensemble throughput at 1/2/4/N threads. --------------------
@@ -116,9 +226,9 @@ fn main() {
     let mut base_runs_per_sec = 0.0;
     for &threads in &thread_counts {
         // Two passes, keep the faster (steadier on shared hosts).
-        let secs =
-            time_ensemble(threads, ens_cfg, &node).min(time_ensemble(threads, ens_cfg, &node));
-        let runs_per_sec = SEEDS.len() as f64 / secs;
+        let secs = time_ensemble(threads, seeds, ens_cfg, &node)
+            .min(time_ensemble(threads, seeds, ens_cfg, &node));
+        let runs_per_sec = seeds.len() as f64 / secs;
         if threads == 1 {
             base_runs_per_sec = runs_per_sec;
         }
@@ -133,24 +243,43 @@ fn main() {
     // --- Emit BENCH_sim.json. ---------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v2\",");
     let _ = writeln!(
         json,
         "  \"scenario\": \"System C, outdoor temperate, 60 s steps, fixed 5% duty\","
     );
+    let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"available_parallelism\": {host_threads} }},"
     );
     let _ = writeln!(json, "  \"single_run\": {{");
-    let _ = writeln!(json, "    \"days\": {SINGLE_RUN_DAYS},");
+    let _ = writeln!(json, "    \"days\": {single_days},");
     let _ = writeln!(json, "    \"steps\": {steps},");
     let _ = writeln!(json, "    \"seconds\": {single_secs:.6},");
     let _ = writeln!(json, "    \"steps_per_sec\": {steps_per_sec:.1}");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"instrumentation\": {{");
+    let _ = writeln!(json, "    \"days\": {overhead_days},");
+    let _ = writeln!(json, "    \"bare_steps_per_sec\": {bare_sps:.1},");
+    let _ = writeln!(json, "    \"observed_noop_steps_per_sec\": {noop_sps:.1},");
+    let _ = writeln!(
+        json,
+        "    \"observed_noop_overhead_pct\": {noop_overhead_pct:.3},"
+    );
+    let _ = writeln!(json, "    \"instrumented_steps_per_sec\": {inst_sps:.1},");
+    let _ = writeln!(
+        json,
+        "    \"instrumented_overhead_pct\": {inst_overhead_pct:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"instrumented_observers\": [\"MetricsObserver\", \"ConservationAuditor\"]"
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"ensemble\": {{");
-    let _ = writeln!(json, "    \"seeds\": {},", SEEDS.len());
-    let _ = writeln!(json, "    \"days_per_run\": {ENSEMBLE_DAYS},");
+    let _ = writeln!(json, "    \"seeds\": {},", seeds.len());
+    let _ = writeln!(json, "    \"days_per_run\": {ensemble_days},");
     let _ = writeln!(json, "    \"parallel_matches_sequential\": true,");
     let _ = writeln!(json, "    \"by_threads\": [");
     for (i, (threads, secs, runs_per_sec, speedup)) in rows.iter().enumerate() {

@@ -115,6 +115,9 @@ pub struct StepReport {
     pub discharged: Joules,
     /// Dumped surplus.
     pub spilled: Joules,
+    /// Output-stage conversion loss: bus energy drawn for the load
+    /// minus what reached the load rail (zero when nothing was served).
+    pub converter_loss: Joules,
     /// Primary-store terminal voltage after the step.
     pub store_voltage: Volts,
 }
@@ -270,6 +273,40 @@ impl PowerUnit {
             .map(InputChannel::idle_overhead)
             .sum();
         channels + self.supervisor.overhead + self.output.quiescent()
+    }
+
+    /// The standing draw itemized per component as a
+    /// [`mseh_power::QuiescentLedger`] referenced to the output rail:
+    /// one entry per occupied harvester channel (its idle front-end
+    /// overhead), the supervisor, and the output stage. The ledger's
+    /// total equals [`quiescent_power`](Self::quiescent_power), so the
+    /// observability layer can report not just Table I's µA figure but
+    /// *which* component is drawing it.
+    pub fn quiescent_ledger(&self) -> mseh_power::QuiescentLedger {
+        let mut ledger = mseh_power::QuiescentLedger::new(self.output_rail());
+        for port in &self.harvester_ports {
+            if let Some(channel) = port.channel.as_ref() {
+                ledger.add(
+                    format!("{} front-end", port.requirement.label),
+                    channel.idle_overhead(),
+                );
+            }
+        }
+        ledger.add("supervisor", self.supervisor.overhead);
+        ledger.add("output stage", self.output.quiescent());
+        ledger
+    }
+
+    /// Total actual capacity across *all* attached storage devices,
+    /// backups included. A drop between control windows means a device
+    /// failed or degraded — the simulation kernel's fault-fire
+    /// detection watches exactly this.
+    pub fn storage_capacity(&self) -> Joules {
+        self.store_ports
+            .iter()
+            .filter_map(|p| p.device.as_ref())
+            .map(|d| d.capacity())
+            .sum()
     }
 
     /// The working voltage of the storage bank: the highest-priority
@@ -607,18 +644,21 @@ impl PowerUnit {
 
         // 4. Shortfall lands on the load first (the node browns out
         //    before the power unit's own electronics).
-        let (delivered, shortfall) = if !servable {
-            (Joules::ZERO, load * dt)
+        let (delivered, shortfall, converter_loss) = if !servable {
+            (Joules::ZERO, load * dt, Joules::ZERO)
         } else if e_load_in.value() > 0.0 {
             let load_unmet = unmet.min(e_load_in);
-            let served_fraction = ((e_load_in - load_unmet) / e_load_in).clamp(0.0, 1.0);
+            let served_in = e_load_in - load_unmet;
+            let served_fraction = (served_in / e_load_in).clamp(0.0, 1.0);
             let full_load = load * dt;
+            let delivered = full_load * served_fraction;
             (
-                full_load * served_fraction,
+                delivered,
                 full_load * (1.0 - served_fraction),
+                (served_in - delivered).max(Joules::ZERO),
             )
         } else {
-            (Joules::ZERO, Joules::ZERO)
+            (Joules::ZERO, Joules::ZERO, Joules::ZERO)
         };
 
         // 5. Storage self-discharge.
@@ -636,6 +676,7 @@ impl PowerUnit {
             charged,
             discharged,
             spilled,
+            converter_loss,
             store_voltage: self.store_voltage(),
         };
         self.totals.harvested += report.harvested;

@@ -201,6 +201,18 @@ impl SmartNetwork {
             .sum()
     }
 
+    /// Total actual capacity across attached storage modules (the
+    /// simulation kernel's fault-fire detection watches for drops).
+    pub fn storage_capacity(&self) -> Joules {
+        self.modules
+            .iter()
+            .filter_map(|m| match &m.payload {
+                SmartPayload::Storage(d) => Some(d.capacity()),
+                SmartPayload::Harvester(_) => None,
+            })
+            .sum()
+    }
+
     /// The network-wide energy status (smart modules report everything).
     pub fn energy_status(&self) -> mseh_node::EnergyStatus {
         let cap: Joules = self
@@ -307,15 +319,21 @@ impl SmartNetwork {
             }
         }
 
-        let (delivered, shortfall) = if !servable {
-            (Joules::ZERO, load * dt)
+        let (delivered, shortfall, converter_loss) = if !servable {
+            (Joules::ZERO, load * dt, Joules::ZERO)
         } else if e_load_in.value() > 0.0 {
             let load_unmet = unmet.min(e_load_in);
-            let served = ((e_load_in - load_unmet) / e_load_in).clamp(0.0, 1.0);
+            let served_in = e_load_in - load_unmet;
+            let served = (served_in / e_load_in).clamp(0.0, 1.0);
             let full = load * dt;
-            (full * served, full * (1.0 - served))
+            let delivered = full * served;
+            (
+                delivered,
+                full * (1.0 - served),
+                (served_in - delivered).max(Joules::ZERO),
+            )
         } else {
-            (Joules::ZERO, Joules::ZERO)
+            (Joules::ZERO, Joules::ZERO, Joules::ZERO)
         };
 
         StepReport {
@@ -326,6 +344,7 @@ impl SmartNetwork {
             charged,
             discharged,
             spilled,
+            converter_loss,
             store_voltage: self.store_voltage(),
         }
     }

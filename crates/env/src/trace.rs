@@ -139,10 +139,24 @@ impl Trace {
     /// Mean value weighted by the time intervals between samples
     /// (trapezoidal); equals the arithmetic mean for uniform sampling.
     ///
-    /// Returns 0 for traces with fewer than two samples.
+    /// Returns 0 for an empty trace, the single value for a one-sample
+    /// trace, and the arithmetic mean of the samples when every
+    /// timestamp coincides (a zero-span trace has no intervals to
+    /// weight by).
     pub fn time_weighted_mean(&self) -> f64 {
-        if self.samples.len() < 2 {
-            return self.samples.first().map_or(0.0, |&(_, v)| v);
+        let (&(first_t, first_v), rest) = match self.samples.split_first() {
+            Some(parts) => parts,
+            None => return 0.0,
+        };
+        let last_t = match rest.last() {
+            Some(&(t, _)) => t,
+            None => return first_v,
+        };
+        let span = last_t - first_t;
+        if span == 0.0 {
+            // All timestamps coincide: fall back to the unweighted mean.
+            let sum: f64 = self.samples.iter().map(|&(_, v)| v).sum();
+            return sum / self.samples.len() as f64;
         }
         let mut area = 0.0;
         for pair in self.samples.windows(2) {
@@ -150,12 +164,7 @@ impl Trace {
             let (t1, v1) = pair[1];
             area += 0.5 * (v0 + v1) * (t1 - t0);
         }
-        let span = self.samples.last().unwrap().0 - self.samples[0].0;
-        if span == 0.0 {
-            self.samples[0].1
-        } else {
-            area / span
-        }
+        area / span
     }
 
     /// Maximum sample value (NaN-free traces assumed).
@@ -350,6 +359,23 @@ mod tests {
         assert!((t.time_weighted_mean() - 62.5).abs() < 1e-12);
         assert_eq!(Trace::new("e").max(), None);
         assert_eq!(Trace::new("e").time_weighted_mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_span_mean_is_arithmetic_mean() {
+        // All samples at the same instant: no intervals to weight by, so
+        // the mean must be the plain average of *all* samples, not the
+        // first one.
+        let mut t = Trace::new("burst");
+        t.push(Seconds::new(5.0), 10.0);
+        t.push(Seconds::new(5.0), 20.0);
+        t.push(Seconds::new(5.0), 60.0);
+        assert!((t.time_weighted_mean() - 30.0).abs() < 1e-12);
+        // Two coincident samples likewise.
+        let mut two = Trace::new("pair");
+        two.push(Seconds::ZERO, 1.0);
+        two.push(Seconds::ZERO, 3.0);
+        assert!((two.time_weighted_mean() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -52,9 +52,26 @@ impl QuiescentLedger {
 
     /// Registers a standing draw. Repeated names accumulate separately
     /// (each call is one component instance).
+    ///
+    /// Entries are *draws*: `power` must be non-negative and finite. A
+    /// negative entry would silently corrupt [`total_power`] and every
+    /// energy figure accrued downstream ([`total_energy`]), so it is
+    /// rejected here rather than at read-out.
+    ///
+    /// [`total_power`]: QuiescentLedger::total_power
+    /// [`total_energy`]: QuiescentLedger::total_energy
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative or not finite.
     pub fn add(&mut self, component: impl Into<String>, power: Watts) {
+        let component = component.into();
+        assert!(
+            power.value().is_finite() && power.value() >= 0.0,
+            "standing draw for {component:?} must be a non-negative finite power, got {power:?}"
+        );
         self.entries.push(LedgerEntry {
-            component: component.into(),
+            component,
             power,
             energy: Joules::ZERO,
         });
@@ -129,5 +146,30 @@ mod tests {
     #[should_panic(expected = "rail voltage")]
     fn rejects_zero_rail() {
         QuiescentLedger::new(Volts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_draw() {
+        let mut l = QuiescentLedger::new(Volts::new(3.3));
+        l.add("bogus credit", Watts::from_micro(-5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_nan_draw() {
+        let mut l = QuiescentLedger::new(Volts::new(3.3));
+        l.add("nan", Watts::new(f64::NAN));
+    }
+
+    #[test]
+    fn zero_draw_is_accepted() {
+        // Zero is a legitimate entry (a disabled component still shows
+        // up itemized); only negatives and non-finites are rejected.
+        let mut l = QuiescentLedger::new(Volts::new(3.3));
+        l.add("gated block", Watts::ZERO);
+        l.accrue(Seconds::from_hours(1.0));
+        assert_eq!(l.total_energy(), Joules::ZERO);
+        assert_eq!(l.iter().count(), 1);
     }
 }

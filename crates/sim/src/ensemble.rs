@@ -2,9 +2,11 @@
 //! and summarize the spread — the robustness check behind every claim in
 //! `EXPERIMENTS.md`.
 
-use crate::parallel::{par_map_with, thread_count};
+use crate::metrics::MetricsRegistry;
+use crate::observe::{AuditReport, ConservationAuditor, MetricsObserver};
+use crate::parallel::{par_map_instrumented, par_map_with, thread_count};
 use crate::platform::Platform;
-use crate::runner::{run_simulation, SimConfig, SimResult};
+use crate::runner::{run_simulation, run_simulation_observed, SimConfig, SimResult};
 use mseh_env::Environment;
 use mseh_node::{DutyCyclePolicy, SensorNode};
 
@@ -225,6 +227,116 @@ where
     summarize(seeds, runs)
 }
 
+/// An ensemble run with its observability artifacts: the usual
+/// [`EnsembleSummary`] plus the merged [`MetricsRegistry`] across all
+/// seeds and a per-seed conservation [`AuditReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentedEnsemble {
+    /// The ordinary ensemble summary (seed-aligned runs + spreads).
+    pub summary: EnsembleSummary,
+    /// All seeds' metrics merged in seed order (counters and histograms
+    /// sum; gauges keep the last seed's value), so the registry is
+    /// identical at any thread count.
+    pub metrics: MetricsRegistry,
+    /// Conservation audit per seed, seed-aligned.
+    pub audits: Vec<AuditReport>,
+}
+
+impl InstrumentedEnsemble {
+    /// The worst per-window conservation residual across every seed,
+    /// as a fraction of that window's energy turnover.
+    pub fn worst_audit_relative(&self) -> f64 {
+        self.audits
+            .iter()
+            .map(|a| a.worst_relative)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// [`run_seed_ensemble_with_threads`] with full observability: every
+/// run carries a [`MetricsObserver`] and a [`ConservationAuditor`];
+/// per-seed registries are merged in seed order (deterministic at any
+/// thread count) and the audits come back seed-aligned.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or `threads` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use mseh_sim::{run_seed_ensemble_instrumented, SimConfig};
+/// use mseh_core::{PowerUnit, StoreRole, PortRequirement};
+/// use mseh_power::DcDcConverter;
+/// use mseh_storage::Supercap;
+/// use mseh_node::{SensorNode, FixedDuty};
+/// use mseh_env::Environment;
+/// use mseh_units::{DutyCycle, Seconds, Volts};
+///
+/// let out = run_seed_ensemble_instrumented(
+///     2,
+///     &[1, 2, 3],
+///     |_seed| {
+///         let mut cap = Supercap::edlc_22f();
+///         cap.set_voltage(Volts::new(2.5));
+///         PowerUnit::builder("instrumented demo")
+///             .store_port(
+///                 PortRequirement::any_in_window("b", Volts::ZERO, Volts::new(3.0)),
+///                 Some(Box::new(cap)), StoreRole::PrimaryBuffer, true)
+///             .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+///             .build()
+///     },
+///     Environment::indoor_office,
+///     |_seed| FixedDuty::new(DutyCycle::saturating(0.02)),
+///     &SensorNode::submilliwatt_class(),
+///     SimConfig::over(Seconds::from_hours(2.0)),
+/// );
+/// assert_eq!(out.audits.len(), 3);
+/// assert!(out.worst_audit_relative() < 1e-6);
+/// assert!(out.metrics.counter("sim_steps_total", &[]).unwrap() > 0.0);
+/// ```
+pub fn run_seed_ensemble_instrumented<P, F, E, G, Q>(
+    threads: usize,
+    seeds: &[u64],
+    make_platform: F,
+    make_env: E,
+    make_policy: G,
+    node: &SensorNode,
+    config: SimConfig,
+) -> InstrumentedEnsemble
+where
+    P: Platform,
+    F: Fn(u64) -> P + Sync,
+    E: Fn(u64) -> Environment + Sync,
+    G: Fn(u64) -> Q + Sync,
+    Q: DutyCyclePolicy,
+{
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let (pairs, metrics) = par_map_instrumented(threads, seeds, |&seed, registry| {
+        let mut platform = make_platform(seed);
+        let env = make_env(seed);
+        let mut policy = make_policy(seed);
+        let mut meter = MetricsObserver::new();
+        let mut auditor = ConservationAuditor::new();
+        let result = run_simulation_observed(
+            &mut platform,
+            &env,
+            node,
+            &mut policy,
+            config,
+            &mut [&mut meter, &mut auditor],
+        );
+        registry.merge(meter.registry());
+        (result, auditor.report())
+    });
+    let (runs, audits): (Vec<SimResult>, Vec<AuditReport>) = pairs.into_iter().unzip();
+    InstrumentedEnsemble {
+        summary: summarize(seeds, runs),
+        metrics,
+        audits,
+    }
+}
+
 fn summarize(seeds: &[u64], runs: Vec<SimResult>) -> EnsembleSummary {
     let harvested: Vec<f64> = runs.iter().map(|r| r.harvested.value()).collect();
     let uptime: Vec<f64> = runs.iter().map(|r| r.uptime).collect();
@@ -343,6 +455,62 @@ mod tests {
                 config,
             );
             assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn instrumented_ensemble_is_deterministic_and_conserved() {
+        let seeds = [7u64, 8, 9, 10];
+        let node = mseh_node::SensorNode::submilliwatt_class();
+        let config = SimConfig::over(Seconds::from_hours(6.0));
+        let run = |threads| {
+            run_seed_ensemble_instrumented(
+                threads,
+                &seeds,
+                |_| solar_rig(),
+                Environment::outdoor_temperate,
+                |_| FixedDuty::new(DutyCycle::saturating(0.05)),
+                &node,
+                config,
+            )
+        };
+        let seq = run(1);
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+
+        // Instrumentation must not perturb the physics.
+        let bare = run_seed_ensemble_with_threads(
+            1,
+            &seeds,
+            |_| solar_rig(),
+            Environment::outdoor_temperate,
+            |_| FixedDuty::new(DutyCycle::saturating(0.05)),
+            &node,
+            config,
+        );
+        assert_eq!(seq.summary, bare);
+
+        // Metrics agree with the summed run results.
+        let harvested: f64 = seq.summary.runs.iter().map(|r| r.harvested.value()).sum();
+        let metered = seq
+            .metrics
+            .counter("sim_harvested_joules_total", &[])
+            .unwrap();
+        assert!((metered - harvested).abs() <= 1e-9 * harvested.abs().max(1.0));
+        let steps = seq.metrics.counter("sim_steps_total", &[]).unwrap();
+        assert_eq!(steps, (seeds.len() * 360) as f64);
+
+        // Every seed's books balance window by window.
+        assert_eq!(seq.audits.len(), seeds.len());
+        assert!(
+            seq.worst_audit_relative() < 1e-6,
+            "worst residual {:e}",
+            seq.worst_audit_relative()
+        );
+        for audit in &seq.audits {
+            assert_eq!(audit.windows, 36);
         }
     }
 

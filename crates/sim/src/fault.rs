@@ -287,6 +287,63 @@ mod tests {
     }
 
     #[test]
+    fn age_accrues_across_mixed_operations() {
+        // Service life is wall-clock through *any* operation: charge,
+        // discharge and idle all age the device by their dt.
+        let mut dev = FailingStorage::new(charged_cap(), Seconds::new(100.0));
+        assert!(
+            dev.charge(Watts::from_milli(10.0), Seconds::new(30.0))
+                .value()
+                > 0.0
+        );
+        assert!(
+            dev.discharge(Watts::from_milli(10.0), Seconds::new(30.0))
+                .value()
+                > 0.0
+        );
+        dev.idle(Seconds::new(30.0));
+        // 30 + 30 + 30 = 90 s of the 100 s life: still healthy and
+        // still serving energy.
+        assert!(!dev.has_failed());
+        assert!(dev.voltage().value() > 0.0);
+        assert!(dev.capacity().value() > 0.0);
+
+        // The next 10 s discharge crosses the line mid-operation.
+        let last = dev.discharge(Watts::from_milli(10.0), Seconds::new(10.0));
+        assert!(dev.has_failed());
+        assert_eq!(last, Joules::ZERO);
+        assert_eq!(dev.voltage(), Volts::ZERO);
+    }
+
+    #[test]
+    fn operation_landing_exactly_on_the_boundary_is_dead() {
+        // Aging happens before the failure check, so the operation whose
+        // dt lands age exactly on `fails_after` already sees a failed
+        // device: the step *containing* the failure delivers nothing,
+        // rather than one full step of post-mortem service.
+        let mut dev = FailingStorage::new(charged_cap(), Seconds::new(60.0));
+        assert_eq!(
+            dev.charge(Watts::from_milli(10.0), Seconds::new(60.0)),
+            Joules::ZERO
+        );
+        assert!(dev.has_failed());
+
+        // Same boundary via discharge.
+        let mut dev = FailingStorage::new(charged_cap(), Seconds::new(60.0));
+        assert_eq!(
+            dev.discharge(Watts::from_milli(10.0), Seconds::new(60.0)),
+            Joules::ZERO
+        );
+        assert!(dev.has_failed());
+
+        // One femtosecond short of the boundary still works.
+        let mut dev = FailingStorage::new(charged_cap(), Seconds::new(60.0));
+        let got = dev.discharge(Watts::from_milli(10.0), Seconds::new(60.0 - 1e-9));
+        assert!(!dev.has_failed());
+        assert!(got.value() > 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "failure time")]
     fn rejects_zero_failure_time() {
         FailingStorage::new(charged_cap(), Seconds::ZERO);

@@ -63,19 +63,26 @@
 
 mod ensemble;
 mod fault;
+mod metrics;
+mod observe;
 mod parallel;
 mod platform;
 mod runner;
 mod sweep;
 
 pub use ensemble::{
-    run_seed_ensemble, run_seed_ensemble_seq, run_seed_ensemble_with_threads, EnsembleSummary,
-    Spread,
+    run_seed_ensemble, run_seed_ensemble_instrumented, run_seed_ensemble_seq,
+    run_seed_ensemble_with_threads, EnsembleSummary, InstrumentedEnsemble, Spread,
 };
 pub use fault::{DegradingHarvester, FailingStorage};
-pub use parallel::{par_map, par_map_with, thread_count};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, DEFAULT_BUCKETS};
+pub use observe::{
+    AuditReport, ConservationAuditor, EventSink, MetricsObserver, RingRecorder, SimEvent,
+    SimObserver, SinkFormat,
+};
+pub use parallel::{par_map, par_map_instrumented, par_map_with, thread_count};
 pub use platform::Platform;
-pub use runner::{run_simulation, SimConfig, SimResult, SimTraces};
+pub use runner::{run_simulation, run_simulation_observed, SimConfig, SimResult, SimTraces};
 pub use sweep::{
     crossover, day_grid, first_meeting, geometric_grid, par_sweep, par_sweep_with_threads, sweep,
     SweepPoint,

@@ -1,0 +1,515 @@
+//! A zero-dependency metrics registry: labeled counters, gauges and
+//! histograms, snapshotable to JSON and mergeable across workers.
+//!
+//! The registry is the numeric half of the observability layer (the
+//! event half is [`crate::SimObserver`]): anything that wants to report
+//! "where the joules went" — the runner, the ensemble pool, a platform's
+//! quiescent ledger — writes named series here, and a single
+//! [`MetricsRegistry::snapshot_json`] call serializes the lot for
+//! dashboards or regression diffing.
+//!
+//! Determinism: the registry stores series in a [`BTreeMap`], so
+//! iteration, snapshots and [`PartialEq`] comparisons are independent
+//! of insertion order, and [`MetricsRegistry::merge`] applied in a
+//! fixed order (seed order, in the ensemble) gives bit-identical
+//! results at any worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use mseh_sim::MetricsRegistry;
+//!
+//! let mut m = MetricsRegistry::new();
+//! m.counter_add("sim_steps_total", &[("system", "C")], 1440.0);
+//! m.gauge_set("store_soc", &[], 0.83);
+//! m.histogram_observe("window_residual_j", &[], 3.2e-13);
+//! assert_eq!(m.counter("sim_steps_total", &[("system", "C")]), Some(1440.0));
+//! let json = m.snapshot_json();
+//! assert!(json.contains("\"sim_steps_total\""));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default histogram bucket upper bounds: decades from 1 n(unit) to
+/// 1 M(unit), a span that covers per-window joule residuals as well as
+/// harvest energies without configuration.
+pub const DEFAULT_BUCKETS: [f64; 16] = [
+    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6,
+];
+
+/// A series key: metric name plus sorted `(label, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+}
+
+/// A cumulative histogram: counts per upper-bound bucket plus running
+/// count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive), ascending; observations above
+    /// the last bound land in the implicit `+Inf` overflow.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (same length as `bounds`, plus the
+    /// overflow in [`HistogramSnapshot::overflow`]).
+    pub counts: Vec<u64>,
+    /// Observations beyond the last bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observation (`+Inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-Inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Self {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One metric series.
+#[derive(Debug, Clone, PartialEq)]
+enum Series {
+    Counter(f64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+impl Series {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of labeled metric series. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    series: BTreeMap<SeriesKey, Series>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the registry holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Adds `v` to a counter, creating it at zero first if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative (counters are monotonic) or the series
+    /// exists with a different type.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        assert!(v >= 0.0, "counter {name} increment must be >= 0, got {v}");
+        match self
+            .series
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(Series::Counter(0.0))
+        {
+            Series::Counter(c) => *c += v,
+            other => panic!("metric {name} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Sets a gauge to `v`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        match self
+            .series
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(Series::Gauge(0.0))
+        {
+            Series::Gauge(g) => *g = v,
+            other => panic!("metric {name} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Records `v` into a histogram with [`DEFAULT_BUCKETS`], creating
+    /// it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn histogram_observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.histogram_observe_with(name, labels, v, &DEFAULT_BUCKETS);
+    }
+
+    /// Records `v` into a histogram, creating it with the given bucket
+    /// bounds if absent (bounds must be ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type, or on
+    /// non-ascending `bounds` for a new series.
+    pub fn histogram_observe_with(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        v: f64,
+        bounds: &[f64],
+    ) {
+        match self
+            .series
+            .entry(SeriesKey::new(name, labels))
+            .or_insert_with(|| {
+                assert!(
+                    bounds.windows(2).all(|w| w[0] < w[1]),
+                    "histogram {name} bounds must be strictly ascending"
+                );
+                Series::Histogram(HistogramSnapshot::new(bounds.to_vec()))
+            }) {
+            Series::Histogram(h) => h.observe(v),
+            other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    /// Reads a counter's value.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.series.get(&SeriesKey::new(name, labels)) {
+            Some(Series::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge's value.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.series.get(&SeriesKey::new(name, labels)) {
+            Some(Series::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Reads a histogram's snapshot.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.series.get(&SeriesKey::new(name, labels)) {
+            Some(Series::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// `other`'s value (last writer wins — merge in a fixed order for
+    /// determinism), histograms combine bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a series exists in both registries with mismatched
+    /// types or histogram bounds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, theirs) in &other.series {
+            match self.series.entry(key.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(theirs.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    match (e.get_mut(), theirs) {
+                        (Series::Counter(a), Series::Counter(b)) => *a += b,
+                        (Series::Gauge(a), Series::Gauge(b)) => *a = *b,
+                        (Series::Histogram(a), Series::Histogram(b)) => {
+                            assert_eq!(
+                                a.bounds, b.bounds,
+                                "merging histogram {} with mismatched buckets",
+                                key.name
+                            );
+                            for (c, d) in a.counts.iter_mut().zip(&b.counts) {
+                                *c += d;
+                            }
+                            a.overflow += b.overflow;
+                            a.count += b.count;
+                            a.sum += b.sum;
+                            a.min = a.min.min(b.min);
+                            a.max = a.max.max(b.max);
+                        }
+                        (mine, theirs) => panic!(
+                            "merging metric {} as {} into {}",
+                            key.name,
+                            theirs.type_name(),
+                            mine.type_name()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes every series to a deterministic JSON document:
+    ///
+    /// ```json
+    /// {"metrics":[
+    ///   {"name":"...","labels":{...},"type":"counter","value":1.0},
+    ///   {"name":"...","labels":{},"type":"histogram","count":3,"sum":0.5,
+    ///    "min":0.1,"max":0.3,"buckets":[{"le":1e-9,"count":0}, ...],"overflow":0}
+    /// ]}
+    /// ```
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.series.len() * 96);
+        out.push_str("{\"metrics\":[");
+        for (i, (key, series)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &key.name);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in key.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_json_str(&mut out, v);
+            }
+            out.push_str("},\"type\":\"");
+            out.push_str(series.type_name());
+            out.push('"');
+            match series {
+                Series::Counter(v) | Series::Gauge(v) => {
+                    let _ = write!(out, ",\"value\":{}", json_num(*v));
+                }
+                Series::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                        h.count,
+                        json_num(h.sum),
+                        json_num(h.min),
+                        json_num(h.max)
+                    );
+                    for (j, (&le, &count)) in h.bounds.iter().zip(&h.counts).enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{{\"le\":{},\"count\":{count}}}", json_num(le));
+                    }
+                    let _ = write!(out, "],\"overflow\":{}", h.overflow);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Formats a float as a JSON-legal number (JSON has no Inf/NaN; those
+/// serialize as null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("steps", &[("system", "A")], 2.0);
+        m.counter_add("steps", &[("system", "A")], 3.0);
+        m.counter_add("steps", &[("system", "B")], 7.0);
+        assert_eq!(m.counter("steps", &[("system", "A")]), Some(5.0));
+        assert_eq!(m.counter("steps", &[("system", "B")]), Some(7.0));
+        assert_eq!(m.counter("steps", &[]), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", &[("a", "1"), ("b", "2")], 1.0);
+        m.counter_add("x", &[("b", "2"), ("a", "1")], 1.0);
+        assert_eq!(m.counter("x", &[("b", "2"), ("a", "1")]), Some(2.0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("soc", &[], 0.4);
+        m.gauge_set("soc", &[], 0.9);
+        assert_eq!(m.gauge("soc", &[]), Some(0.9));
+    }
+
+    #[test]
+    fn histograms_bucket_and_summarize() {
+        let mut m = MetricsRegistry::new();
+        for v in [1e-8, 2e-8, 0.5, 2e7] {
+            m.histogram_observe("residual", &[], v);
+        }
+        let h = m.histogram("residual", &[]).unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.overflow, 1); // 2e7 beyond the last decade
+        assert_eq!(h.min, 1e-8);
+        assert_eq!(h.max, 2e7);
+        assert!((h.mean() - (1e-8 + 2e-8 + 0.5 + 2e7) / 4.0).abs() < 1.0);
+        // 1e-8 lands in the `le = 1e-8` bucket (inclusive upper bound).
+        assert_eq!(h.counts[1], 1);
+    }
+
+    #[test]
+    fn merge_is_typewise() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", &[], 1.0);
+        a.gauge_set("g", &[], 5.0);
+        a.histogram_observe("h", &[], 0.5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", &[], 2.0);
+        b.gauge_set("g", &[], 7.0);
+        b.histogram_observe("h", &[], 2.5);
+        b.counter_add("only_b", &[], 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c", &[]), Some(3.0));
+        assert_eq!(a.gauge("g", &[]), Some(7.0));
+        assert_eq!(a.counter("only_b", &[]), Some(9.0));
+        let h = a.histogram("h", &[]).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 3.0);
+    }
+
+    #[test]
+    fn merge_order_determinism_for_counters() {
+        // Counters commute: any merge order gives the same registry.
+        let regs: Vec<MetricsRegistry> = (1..=4)
+            .map(|i| {
+                let mut m = MetricsRegistry::new();
+                m.counter_add("steps", &[], i as f64);
+                m.histogram_observe("e", &[], i as f64);
+                m
+            })
+            .collect();
+        let mut fwd = MetricsRegistry::new();
+        for r in &regs {
+            fwd.merge(r);
+        }
+        let mut rev = MetricsRegistry::new();
+        for r in regs.iter().rev() {
+            rev.merge(r);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_escaped() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("quirky \"name\"", &[("sys\n", "a\\b")], 1.5);
+        m.counter_add("steps", &[], 3.0);
+        let json = m.snapshot_json();
+        assert_eq!(json, m.clone().snapshot_json());
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\\\"name\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"type\":\"counter\",\"value\":3"));
+        // Series are name-ordered regardless of insertion order.
+        assert!(json.find("quirky").unwrap() < json.find("steps").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("x", &[], 1.0);
+        m.counter_add("x", &[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn counters_are_monotonic() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", &[], -1.0);
+    }
+
+    #[test]
+    fn empty_registry_snapshot() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        assert_eq!(m.snapshot_json(), "{\"metrics\":[]}");
+    }
+}

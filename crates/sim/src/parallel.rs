@@ -22,6 +22,7 @@
 //! `(seed, time)`-addressed randomness, parallel ensembles are
 //! bit-for-bit identical to sequential ones.
 
+use crate::metrics::MetricsRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -124,6 +125,50 @@ where
     collected.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`par_map_with`] where each item also gets a private
+/// [`MetricsRegistry`]; the per-item registries are merged into one
+/// after the scope joins.
+///
+/// The merge happens **in item order** (not in worker-completion
+/// order), so the combined registry — like the result vector — is
+/// bit-for-bit identical at any thread count. Registries are per-item
+/// rather than per-worker precisely so that the merge order cannot
+/// depend on how the atomic claiming interleaved.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or `f` panics on any item.
+///
+/// # Examples
+///
+/// ```
+/// let (doubled, metrics) = mseh_sim::par_map_instrumented(2, &[1.0, 2.0, 3.0], |&x, reg| {
+///     reg.counter_add("work_total", &[], x);
+///     x * 2.0
+/// });
+/// assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+/// assert_eq!(metrics.counter("work_total", &[]), Some(6.0));
+/// ```
+pub fn par_map_instrumented<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, MetricsRegistry)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut MetricsRegistry) -> R + Sync,
+{
+    let pairs = par_map_with(threads, items, |item| {
+        let mut registry = MetricsRegistry::new();
+        let result = f(item, &mut registry);
+        (result, registry)
+    });
+    let mut merged = MetricsRegistry::new();
+    let mut results = Vec::with_capacity(pairs.len());
+    for (result, registry) in pairs {
+        merged.merge(&registry);
+        results.push(result);
+    }
+    (results, merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +232,28 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn instrumented_merge_is_thread_count_independent() {
+        let items: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let run = |threads| {
+            par_map_instrumented(threads, &items, |&x, reg| {
+                reg.counter_add("sum_total", &[], x);
+                reg.gauge_set("last_item", &[], x);
+                reg.histogram_observe("item_values", &[], x);
+                x
+            })
+        };
+        let (seq_results, seq_metrics) = run(1);
+        for threads in [2, 4, 8] {
+            let (results, metrics) = run(threads);
+            assert_eq!(results, seq_results, "threads = {threads}");
+            assert_eq!(metrics, seq_metrics, "threads = {threads}");
+        }
+        assert_eq!(seq_metrics.counter("sum_total", &[]), Some(780.0));
+        // Gauges merge last-writer-wins in item order.
+        assert_eq!(seq_metrics.gauge("last_item", &[]), Some(39.0));
+        assert_eq!(seq_metrics.histogram("item_values", &[]).unwrap().count, 40);
     }
 }

@@ -24,6 +24,10 @@ pub trait Platform {
 
     /// Total internal storage dissipation (for the conservation audit).
     fn storage_losses(&self) -> Joules;
+
+    /// Total actual storage capacity; a drop between control windows is
+    /// reported to observers as a fault firing.
+    fn storage_capacity(&self) -> Joules;
 }
 
 impl Platform for PowerUnit {
@@ -46,6 +50,10 @@ impl Platform for PowerUnit {
     fn storage_losses(&self) -> Joules {
         PowerUnit::storage_losses(self)
     }
+
+    fn storage_capacity(&self) -> Joules {
+        PowerUnit::storage_capacity(self)
+    }
 }
 
 impl Platform for SmartNetwork {
@@ -67,6 +75,10 @@ impl Platform for SmartNetwork {
 
     fn storage_losses(&self) -> Joules {
         SmartNetwork::storage_losses(self)
+    }
+
+    fn storage_capacity(&self) -> Joules {
+        SmartNetwork::storage_capacity(self)
     }
 }
 

@@ -1,10 +1,11 @@
 //! The simulation runner: drives a [`Platform`] + node + policy against an
 //! environment, recording time series and enforcing energy conservation.
 
+use crate::observe::{SimEvent, SimObserver};
 use crate::platform::Platform;
 use mseh_env::{EnvConditions, EnvSampler, Trace};
 use mseh_node::{DutyCyclePolicy, SensorNode};
-use mseh_units::{Joules, Seconds, Volts};
+use mseh_units::{DutyCycle, Joules, Seconds, Volts};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +84,8 @@ pub struct SimResult {
     pub delivered: Joules,
     /// Total unserved load energy.
     pub shortfall: Joules,
+    /// Total output-stage conversion loss while serving the load.
+    pub converter_losses: Joules,
     /// Number of steps with any shortfall.
     pub brownout_steps: u64,
     /// Longest run of consecutive brown-out steps.
@@ -153,19 +156,72 @@ pub fn run_simulation(
     policy: &mut dyn DutyCyclePolicy,
     config: SimConfig,
 ) -> SimResult {
+    run_simulation_observed(platform, env, node, policy, config, &mut [])
+}
+
+/// [`run_simulation`] with an attached set of [`SimObserver`]s.
+///
+/// Every observer receives the full [`SimEvent`] stream: run and
+/// control-window boundaries, per-step `Harvest`/`ConversionLoss`,
+/// `StoreCharge`/`StoreDischarge`/`Shortfall` when non-zero, a
+/// `PolicyChange` whenever the duty choice moves between windows, and a
+/// `FaultFire` when the platform's storage capacity drops (checked at
+/// window granularity, so a mid-window failure is reported at the next
+/// window edge or at run end).
+///
+/// Passing an empty slice is exactly [`run_simulation`]: the kernel
+/// skips event construction entirely, so the bare hot loop pays one
+/// branch per step.
+pub fn run_simulation_observed(
+    platform: &mut dyn Platform,
+    env: &dyn EnvSampler,
+    node: &SensorNode,
+    policy: &mut dyn DutyCyclePolicy,
+    config: SimConfig,
+    observers: &mut [&mut dyn SimObserver],
+) -> SimResult {
     assert!(config.dt.value() > 0.0, "dt must be positive");
     assert!(
         config.duration >= config.dt,
         "duration must cover at least one step"
     );
 
-    let steps = (config.duration.value() / config.dt.value()).ceil() as u64;
+    // Truncate to whole steps and close the horizon with an explicit
+    // fractional step: rounding the count would simulate up to half a
+    // step past (or short of) the requested span, and ceiling always
+    // overshoots. The dust guard keeps exact multiples (e.g. one day of
+    // 60 s steps) from growing a ~1e-13 s ghost step.
+    let full_steps = (config.duration.value() / config.dt.value()).floor() as u64;
+    let frac_dt = {
+        let rem = config.duration.value() - full_steps as f64 * config.dt.value();
+        (rem > config.dt.value() * 1e-9).then(|| Seconds::new(rem))
+    };
+    let steps = full_steps + u64::from(frac_dt.is_some());
     let control_every = (config.control_interval.value() / config.dt.value())
         .round()
         .max(1.0) as u64;
 
     let initial_stored = platform.total_stored_energy();
     let initial_losses = platform.storage_losses();
+
+    fn emit(observers: &mut [&mut dyn SimObserver], event: SimEvent) {
+        for obs in observers.iter_mut() {
+            obs.on_event(&event);
+        }
+    }
+    // When nobody is listening the hot loop must stay bare: events are
+    // only constructed behind this flag.
+    let observing = !observers.is_empty();
+    let mut prev_duty: Option<DutyCycle> = None;
+    let mut prev_capacity = platform.storage_capacity();
+    if observing {
+        emit(
+            observers,
+            SimEvent::RunStart {
+                time: config.start_at,
+            },
+        );
+    }
 
     let mut samples = 0.0;
     let mut harvested = Joules::ZERO;
@@ -176,6 +232,7 @@ pub fn run_simulation(
     let mut discharged = Joules::ZERO;
     let mut spilled = Joules::ZERO;
     let mut overheads = Joules::ZERO;
+    let mut converter_losses = Joules::ZERO;
     let mut brownout_steps = 0u64;
     let mut outage_run = 0u64;
     let mut longest_outage = 0u64;
@@ -208,12 +265,61 @@ pub fn run_simulation(
         let demand = node.step(duty, config.dt);
         let load_energy = load * config.dt;
 
+        if observing {
+            let t_win = time_at(window_start);
+            emit(
+                observers,
+                SimEvent::WindowStart {
+                    time: t_win,
+                    duty,
+                    load,
+                    stored: platform.total_stored_energy(),
+                    losses: platform.storage_losses(),
+                },
+            );
+            if let Some(prev) = prev_duty {
+                if prev != duty {
+                    emit(
+                        observers,
+                        SimEvent::PolicyChange {
+                            time: t_win,
+                            from: prev,
+                            to: duty,
+                        },
+                    );
+                }
+            }
+            // Storage faults manifest as capacity loss; polled at window
+            // granularity so the hot loop stays untouched.
+            let capacity = platform.storage_capacity();
+            if capacity.value() < prev_capacity.value() {
+                emit(
+                    observers,
+                    SimEvent::FaultFire {
+                        time: t_win,
+                        lost_capacity: prev_capacity - capacity,
+                    },
+                );
+            }
+            prev_capacity = capacity;
+        }
+        prev_duty = Some(duty);
+
         times.clear();
         times.extend((window_start..window_end).map(time_at));
         env.conditions_into(&times, &mut conditions);
 
         for (j, &t) in times.iter().enumerate() {
-            let report = platform.step(&conditions[j], config.dt, load);
+            // The final step may be fractional (when the duration is not
+            // an exact multiple of dt); everything per-step scales by
+            // its actual width.
+            let (step_dt, step_samples, step_load_energy) = match frac_dt {
+                Some(frac) if window_start + j as u64 == full_steps => {
+                    (frac, node.step(duty, frac).samples, load * frac)
+                }
+                _ => (config.dt, demand.samples, load_energy),
+            };
+            let report = platform.step(&conditions[j], step_dt, load);
 
             harvested += report.harvested;
             delivered += report.delivered;
@@ -222,7 +328,53 @@ pub fn run_simulation(
             discharged += report.discharged;
             spilled += report.spilled;
             overheads += report.overhead;
-            demanded += load_energy;
+            converter_losses += report.converter_loss;
+            demanded += step_load_energy;
+
+            if observing {
+                emit(
+                    observers,
+                    SimEvent::Harvest {
+                        time: t,
+                        energy: report.harvested,
+                    },
+                );
+                emit(
+                    observers,
+                    SimEvent::ConversionLoss {
+                        time: t,
+                        converter: report.converter_loss,
+                        overhead: report.overhead,
+                    },
+                );
+                if report.charged.value() > 0.0 {
+                    emit(
+                        observers,
+                        SimEvent::StoreCharge {
+                            time: t,
+                            energy: report.charged,
+                        },
+                    );
+                }
+                if report.discharged.value() > 0.0 {
+                    emit(
+                        observers,
+                        SimEvent::StoreDischarge {
+                            time: t,
+                            energy: report.discharged,
+                        },
+                    );
+                }
+                if report.shortfall.value() > 0.0 {
+                    emit(
+                        observers,
+                        SimEvent::Shortfall {
+                            time: t,
+                            energy: report.shortfall,
+                        },
+                    );
+                }
+            }
 
             let served_fraction = if report.shortfall.value() > 0.0 {
                 let full = (report.delivered + report.shortfall).value();
@@ -234,7 +386,7 @@ pub fn run_simulation(
             } else {
                 1.0
             };
-            samples += demand.samples * served_fraction;
+            samples += step_samples * served_fraction;
 
             if report.shortfall.value() > 1e-12 {
                 brownout_steps += 1;
@@ -248,11 +400,43 @@ pub fn run_simulation(
             if let Some(tr) = traces.as_mut() {
                 tr.store_voltage.push(t, report.store_voltage.value());
                 tr.harvest_power
-                    .push(t, (report.harvested / config.dt).value());
+                    .push(t, (report.harvested / step_dt).value());
                 tr.duty.push(t, duty.value());
             }
         }
+
+        if observing {
+            let t_end = if window_end == steps {
+                config.start_at + config.duration
+            } else {
+                time_at(window_end)
+            };
+            emit(
+                observers,
+                SimEvent::WindowEnd {
+                    time: t_end,
+                    stored: platform.total_stored_energy(),
+                    losses: platform.storage_losses(),
+                },
+            );
+        }
         window_start = window_end;
+    }
+
+    if observing {
+        let t_end = config.start_at + config.duration;
+        // Catch a failure during the final window.
+        let capacity = platform.storage_capacity();
+        if capacity.value() < prev_capacity.value() {
+            emit(
+                observers,
+                SimEvent::FaultFire {
+                    time: t_end,
+                    lost_capacity: prev_capacity - capacity,
+                },
+            );
+        }
+        emit(observers, SimEvent::RunEnd { time: t_end });
     }
 
     // Audit. Bus: harvested + discharged − charged − spilled = served
@@ -282,6 +466,7 @@ pub fn run_simulation(
         harvested,
         delivered,
         shortfall,
+        converter_losses,
         brownout_steps,
         longest_outage_steps: longest_outage,
         min_store_voltage: min_v,
@@ -406,6 +591,67 @@ mod tests {
         assert_eq!(a.harvested, b.harvested);
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.uptime, b.uptime);
+    }
+
+    #[test]
+    fn fractional_final_step_closes_the_horizon() {
+        // duration = 10.5 dt must simulate exactly 10.5 dt of load — 10
+        // full steps plus one half step — not 11 dt (the old ceil) or a
+        // rounded count.
+        let dt = Seconds::new(60.0);
+        let node = SensorNode::submilliwatt_class();
+        let run = |duration: Seconds| {
+            let mut cap = Supercap::edlc_22f();
+            cap.set_voltage(Volts::new(2.5));
+            let mut unit = PowerUnit::builder("frac horizon")
+                .store_port(
+                    PortRequirement::any_in_window("b", Volts::ZERO, Volts::new(3.0)),
+                    Some(Box::new(cap)),
+                    StoreRole::PrimaryBuffer,
+                    true,
+                )
+                .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+                .build();
+            let mut policy = FixedDuty::new(DutyCycle::ONE);
+            run_simulation(
+                &mut unit,
+                &Environment::indoor_office(1),
+                &node,
+                &mut policy,
+                SimConfig {
+                    dt,
+                    duration,
+                    start_at: Seconds::ZERO,
+                    control_interval: Seconds::from_minutes(10.0),
+                    record: true,
+                },
+            )
+        };
+
+        let frac = run(Seconds::new(60.0 * 10.5));
+        let whole = run(Seconds::new(60.0 * 10.0));
+        assert_eq!(frac.uptime, 1.0, "store-fed load must be fully served");
+        assert_eq!(whole.uptime, 1.0);
+
+        // 10 full steps + 1 fractional step.
+        let traces = frac.traces.expect("recording enabled");
+        assert_eq!(traces.store_voltage.len(), 11);
+        let last_t = traces.store_voltage.iter().last().unwrap().0;
+        assert_eq!(last_t, Seconds::new(60.0 * 10.0));
+
+        // Served energy scales with the true horizon: exactly 5% more
+        // than the 10-step run, not 10% (which ceil would give).
+        let ratio = frac.delivered.value() / whole.delivered.value();
+        assert!((ratio - 1.05).abs() < 1e-9, "delivered ratio {ratio}");
+        let sample_ratio = frac.samples / whole.samples;
+        assert!(
+            (sample_ratio - 1.05).abs() < 1e-9,
+            "samples ratio {sample_ratio}"
+        );
+
+        // Exact multiples grow no ghost step.
+        let exact = run(Seconds::from_days(1.0));
+        assert_eq!(exact.traces.expect("recording").store_voltage.len(), 1440);
     }
 
     #[test]

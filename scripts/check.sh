@@ -13,6 +13,17 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> build and run all examples"
+cargo build --release --examples
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "--> example: $name"
+    cargo run --release -q -p mseh --example "$name" >/dev/null
+done
+
+echo "==> perf smoke (reduced budget, writes target/BENCH_sim_quick.json)"
+cargo run --release -q -p mseh-bench --bin perf -- --quick
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --check

@@ -11,8 +11,12 @@ use mseh::power::{
     DcDcConverter, DiodeStage, FixedPoint, FractionalVoc, IdealDiode, InputChannel,
     OperatingPointController, PerturbObserve, PowerStage,
 };
-use mseh::sim::{run_simulation, SimConfig};
+use mseh::sim::{
+    run_simulation, run_simulation_observed, ConservationAuditor, MetricsObserver, RingRecorder,
+    SimConfig,
+};
 use mseh::storage::{Battery, FuelCell, Storage, Supercap};
+use mseh::systems::SystemId;
 use mseh::units::fuzz::Rng;
 use mseh::units::{DutyCycle, Seconds, Volts};
 
@@ -150,6 +154,66 @@ fn conservation_closes_for_arbitrary_platforms() {
         assert!((0.0..=1.0).contains(&result.uptime));
         assert!(result.samples >= 0.0);
         assert!(result.harvested.value() >= 0.0);
+    }
+}
+
+/// The conservation auditor closes the per-window energy books on every
+/// Table-I platform, the metrics bridge agrees with the run totals, and
+/// attaching the full observer stack does not perturb the physics.
+#[test]
+fn auditor_closes_the_books_on_all_table_one_systems() {
+    for id in SystemId::ALL {
+        let env = Environment::outdoor_temperate(7);
+        let node = SensorNode::submilliwatt_class();
+        let config = SimConfig::over(Seconds::from_days(1.0));
+
+        let mut unit = id.build();
+        let mut auditor = ConservationAuditor::new();
+        let mut meter = MetricsObserver::new();
+        let mut ring = RingRecorder::new(64);
+        let observed = run_simulation_observed(
+            &mut unit,
+            &env,
+            &node,
+            &mut FixedDuty::new(DutyCycle::saturating(0.05)),
+            config,
+            &mut [&mut auditor, &mut meter, &mut ring],
+        );
+
+        // Books balance every control window, not just in aggregate.
+        let report = auditor.report();
+        assert_eq!(report.windows, 144, "{id}");
+        assert!(
+            report.worst_relative < 1e-6,
+            "{id}: conservation violated — {report}"
+        );
+
+        // The metrics bridge saw every step and agrees with the totals.
+        let m = meter.registry();
+        assert_eq!(m.counter("sim_steps_total", &[]), Some(1440.0), "{id}");
+        assert_eq!(m.counter("sim_windows_total", &[]), Some(144.0), "{id}");
+        let metered = m.counter("sim_harvested_joules_total", &[]).unwrap();
+        let harvested = observed.harvested.value();
+        assert!(
+            (metered - harvested).abs() <= 1e-9 * harvested.abs().max(1.0),
+            "{id}: metered {metered} vs harvested {harvested}"
+        );
+
+        // The flight recorder kept the tail of the event stream.
+        assert_eq!(ring.len(), 64, "{id}");
+        assert!(ring.total_seen() > 1440, "{id}");
+
+        // Observation must not perturb the physics: the bare run is
+        // bit-for-bit identical.
+        let mut bare_unit = id.build();
+        let bare = run_simulation(
+            &mut bare_unit,
+            &env,
+            &node,
+            &mut FixedDuty::new(DutyCycle::saturating(0.05)),
+            config,
+        );
+        assert_eq!(bare, observed, "{id}");
     }
 }
 
