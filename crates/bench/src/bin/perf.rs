@@ -28,10 +28,11 @@ use std::time::Instant;
 use mseh_env::Environment;
 use mseh_node::{FixedDuty, SensorNode};
 use mseh_sim::{
-    run_seed_ensemble_seq, run_seed_ensemble_with_threads, run_simulation, run_simulation_observed,
-    ConservationAuditor, MetricsObserver, SimConfig, SimResult,
+    run_resilience_campaign_with_threads, run_seed_ensemble_seq, run_seed_ensemble_with_threads,
+    run_simulation, run_simulation_observed, CampaignConfig, ConservationAuditor, MetricsObserver,
+    SimConfig, SimResult,
 };
-use mseh_systems::SystemId;
+use mseh_systems::{resilience, SystemId};
 use mseh_units::{DutyCycle, Seconds};
 
 const SINGLE_RUN_DAYS: f64 = 7.0;
@@ -240,10 +241,51 @@ fn main() {
         rows.push((threads, secs, runs_per_sec, speedup));
     }
 
+    // --- Resilience campaign: fault-injection throughput + summary. -
+    // System D (MPWiNode) in its agricultural deployment, primary store
+    // failing open and lead harvester glitching on seeded stochastic
+    // plans, failover-wrapped voltage ladder as the policy.
+    let campaign_horizon = Seconds::from_days(ensemble_days);
+    let campaign_cfg = CampaignConfig::over(campaign_horizon);
+    let campaign_node = resilience::natural_node(SystemId::D);
+    let run_campaign = |threads: usize| {
+        run_resilience_campaign_with_threads(
+            threads,
+            seeds,
+            |seed| resilience::resilience_scenario(SystemId::D, seed, campaign_horizon),
+            &campaign_node,
+            campaign_cfg,
+        )
+    };
+    let campaign_ref = run_campaign(1);
+    let start = Instant::now();
+    let campaign = run_campaign(host_threads.max(2));
+    let campaign_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        campaign, campaign_ref,
+        "parallel campaign diverged from single-thread reference"
+    );
+    assert!(
+        campaign.worst_audit_relative < 1e-6,
+        "campaign broke conservation: {}",
+        campaign.worst_audit_relative
+    );
+    let scenarios_per_sec = seeds.len() as f64 / campaign_secs;
+    println!(
+        "campaign   : {} fault scenarios in {campaign_secs:.3} s ({scenarios_per_sec:.2} \
+         scenarios/s), uptime {:.4} (min {:.4}), {} faults / {} failovers, \
+         thread-count invariant",
+        seeds.len(),
+        campaign.uptime.mean,
+        campaign.uptime.min,
+        campaign.total_faults,
+        campaign.total_failovers,
+    );
+
     // --- Emit BENCH_sim.json. ---------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v3\",");
     let _ = writeln!(
         json,
         "  \"scenario\": \"System C, outdoor temperate, 60 s steps, fixed 5% duty\","
@@ -291,6 +333,37 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"campaign\": {{");
+    let _ = writeln!(
+        json,
+        "    \"scenario\": \"System D, agricultural, stochastic store faults + \
+         harvester glitches, failover-wrapped ladder\","
+    );
+    let _ = writeln!(json, "    \"seeds\": {},", seeds.len());
+    let _ = writeln!(json, "    \"days_per_scenario\": {ensemble_days},");
+    let _ = writeln!(json, "    \"seconds\": {campaign_secs:.6},");
+    let _ = writeln!(json, "    \"scenarios_per_sec\": {scenarios_per_sec:.3},");
+    let _ = writeln!(json, "    \"uptime_mean\": {:.6},", campaign.uptime.mean);
+    let _ = writeln!(json, "    \"uptime_min\": {:.6},", campaign.uptime.min);
+    let _ = writeln!(json, "    \"total_faults\": {},", campaign.total_faults);
+    let _ = writeln!(json, "    \"total_clears\": {},", campaign.total_clears);
+    let _ = writeln!(
+        json,
+        "    \"total_failovers\": {},",
+        campaign.total_failovers
+    );
+    let _ = writeln!(
+        json,
+        "    \"longest_outage_max_s\": {:.1},",
+        campaign.longest_outage_s.max
+    );
+    let _ = writeln!(
+        json,
+        "    \"worst_audit_relative\": {:.3e},",
+        campaign.worst_audit_relative
+    );
+    let _ = writeln!(json, "    \"parallel_matches_single_thread\": true");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

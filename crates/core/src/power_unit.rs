@@ -9,6 +9,7 @@
 //! public contract and is property-tested).
 
 use mseh_env::EnvConditions;
+use mseh_harvesters::Transducer;
 use mseh_node::{EnergyStatus, MonitoringLevel};
 use mseh_power::{InputChannel, PowerStage};
 use mseh_storage::Storage;
@@ -565,9 +566,129 @@ impl PowerUnit {
         Ok(deposited)
     }
 
+    /// Cumulative `(fired, cleared)` fault counts across every attached
+    /// device: storage faults, harvester dropouts, converter brownouts.
+    ///
+    /// Plain devices report zero; fault-injection wrappers (from
+    /// `mseh-sim` and `mseh-power`) override the per-trait count hooks
+    /// this sums. The simulation runner polls it at control-window edges
+    /// so faults that fire *and* clear within one window still get
+    /// reported.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        let mut fired = self.output.fault_fire_count();
+        let mut cleared = self.output.fault_clear_count();
+        for port in &self.store_ports {
+            if let Some(device) = port.device.as_ref() {
+                fired += device.fault_fire_count();
+                cleared += device.fault_clear_count();
+            }
+        }
+        for port in &self.harvester_ports {
+            if let Some(channel) = port.channel.as_ref() {
+                let (f, c) = channel.fault_counts();
+                fired += f;
+                cleared += c;
+            }
+        }
+        (fired, cleared)
+    }
+
+    /// Energy currently stranded inside attached stores by active faults
+    /// (content that physically exists but cannot be delivered).
+    pub fn stranded_energy(&self) -> Joules {
+        self.store_ports
+            .iter()
+            .filter_map(|p| p.device.as_ref())
+            .map(|d| d.stranded_energy())
+            .fold(Joules::ZERO, |acc, e| acc + e)
+    }
+
+    /// Rebuilds the storage device at `port` through `wrap` —
+    /// *simulation instrumentation* (fault injection, degradation),
+    /// not a field swap: it bypasses the swappability and compatibility
+    /// checks of [`attach_storage`](Self::attach_storage) (soldered
+    /// stores fail too) and leaves the recognized capacity untouched.
+    ///
+    /// Returns `false` when the port is empty or out of range.
+    pub fn instrument_store(
+        &mut self,
+        port: usize,
+        wrap: impl FnOnce(Box<dyn Storage>) -> Box<dyn Storage>,
+    ) -> bool {
+        match self.store_ports.get_mut(port) {
+            Some(slot) => match slot.device.take() {
+                Some(device) => {
+                    slot.device = Some(wrap(device));
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Rebuilds the harvester on port `port`'s input channel through
+    /// `wrap` (simulation instrumentation; see
+    /// [`instrument_store`](Self::instrument_store)).
+    ///
+    /// Returns `false` when the port is empty or out of range.
+    pub fn instrument_harvester(
+        &mut self,
+        port: usize,
+        wrap: impl FnOnce(Box<dyn Transducer>) -> Box<dyn Transducer>,
+    ) -> bool {
+        match self
+            .harvester_ports
+            .get_mut(port)
+            .and_then(|slot| slot.channel.as_mut())
+        {
+            Some(channel) => {
+                channel.wrap_harvester(wrap);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebuilds the output stage through `wrap` (simulation
+    /// instrumentation, e.g. a scheduled-brownout wrapper).
+    pub fn instrument_output_stage(
+        &mut self,
+        wrap: impl FnOnce(Box<dyn PowerStage>) -> Box<dyn PowerStage>,
+    ) {
+        struct Placeholder;
+        impl PowerStage for Placeholder {
+            fn name(&self) -> &str {
+                "placeholder"
+            }
+            fn quiescent(&self) -> Watts {
+                Watts::ZERO
+            }
+            fn accepts_input_voltage(&self, _v: Volts) -> bool {
+                false
+            }
+            fn output_voltage(&self) -> Volts {
+                Volts::ZERO
+            }
+            fn output_for_input(&self, _p: Watts, _v: Volts) -> Watts {
+                Watts::ZERO
+            }
+            fn input_for_output(&self, _p: Watts, _v: Volts) -> Watts {
+                Watts::ZERO
+            }
+        }
+        let old = core::mem::replace(&mut self.output, Box::new(Placeholder));
+        self.output = wrap(old);
+    }
+
     /// Advances the unit one interval: harvest, serve `load` through the
     /// output stage, balance against the stores.
     pub fn step(&mut self, env: &EnvConditions, dt: Seconds, load: Watts) -> StepReport {
+        // 0. Age stages with internal clocks (scheduled-brownout
+        //    wrappers) before serving, so the step containing a brownout
+        //    start already sees the stage down.
+        self.output.advance(dt);
+
         // 1. Harvest.
         let mut harvested_w = Watts::ZERO;
         let mut overhead_w = self.supervisor.overhead + self.output.quiescent();

@@ -85,6 +85,20 @@ pub trait Transducer: Send + Sync {
             current: self.current_at(v, env),
         }
     }
+
+    /// Number of scheduled dropouts this harvester has entered.
+    ///
+    /// Fault-injection wrappers override this so the simulation runner
+    /// can report dropouts that start *and* end between its polling
+    /// points; plain harvesters never fault.
+    fn fault_fire_count(&self) -> u64 {
+        0
+    }
+
+    /// Number of entered dropouts that have ended (output restored).
+    fn fault_clear_count(&self) -> u64 {
+        0
+    }
 }
 
 /// Maximizes a unimodal function on `[lo, hi]` by golden-section search.

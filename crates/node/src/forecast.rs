@@ -103,21 +103,24 @@ impl DayProfileForecast {
     fn forecast(&self, now: Seconds) -> Joules {
         let fallback = self.learned_mean();
         let start_h = now.time_of_day().as_hours();
-        let horizon_h = self.horizon.as_hours();
+        let end_h = start_h + self.horizon.as_hours();
         let mut energy = Joules::ZERO;
-        // Integrate hour by hour (partial first/last hours included).
-        let mut covered = 0.0;
-        while covered < horizon_h {
-            let h = (start_h + covered) % 24.0;
-            let bin = h.floor() as usize % 24;
-            let span_h = (1.0 - (start_h + covered).fract()).min(horizon_h - covered);
+        // Integrate hour by hour (partial first/last hours included),
+        // stepping to the exact next hour boundary each iteration. The
+        // previous `covered += span` accumulation let round-off creep
+        // into the running position, so a start just below a boundary
+        // produced a long run of sliver steps charged to the wrong bin.
+        let mut pos = start_h;
+        while pos < end_h {
+            let next = (pos.floor() + 1.0).min(end_h);
+            let bin = pos.floor() as usize % 24;
             let rate = if self.seeded[bin] {
                 self.bins[bin]
             } else {
                 fallback
             };
-            energy += rate * Seconds::from_hours(span_h);
-            covered += span_h.max(1e-9);
+            energy += rate * Seconds::from_hours(next - pos);
+            pos = next;
         }
         energy
     }
@@ -245,6 +248,36 @@ mod tests {
         p.choose(&node, &status(10.0, 4.0, 0.6));
         let f = p.forecast(Seconds::from_hours(20.0));
         assert!(f.value() > 0.0);
+    }
+
+    #[test]
+    fn forecast_integrates_exactly_across_a_day_wrap() {
+        // Regression: the old integrator accumulated `covered += span`,
+        // so starting one round-off below an hour boundary walked the
+        // rest of the day in sliver steps charged to the wrong bins.
+        // A 24 h forecast over the trained square wave must equal the
+        // daily total regardless of the start instant.
+        let node = SensorNode::milliwatt_class();
+        let mut p = DayProfileForecast::new(Seconds::from_hours(24.0));
+        train(&mut p, &node, 4);
+        // 8 bright hours at ~6 mW (EWMA-converged).
+        let daily: f64 = (0..24)
+            .map(|h| p.learned(h).expect("trained").value() * 3600.0)
+            .sum();
+        for start in [
+            Seconds::new(5.0 * 3600.0 - 1e-7),
+            Seconds::new(5.0 * 3600.0),
+            Seconds::new(5.0 * 3600.0 + 1e-7),
+            Seconds::from_hours(13.37),
+            Seconds::from_hours(23.999_999_9),
+        ] {
+            let f = p.forecast(start);
+            assert!(
+                (f.value() - daily).abs() < 1e-6 * daily,
+                "start {start}: forecast {} vs daily {daily}",
+                f.value()
+            );
+        }
     }
 
     #[test]

@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod failover;
 mod forecast;
 mod node;
 mod policy;
 mod status;
 
+pub use failover::FailoverPolicy;
 pub use forecast::DayProfileForecast;
 pub use node::{NodeDemand, SensorNode};
 pub use policy::{DutyCyclePolicy, EnergyNeutral, FixedDuty, VoltageThreshold};

@@ -21,6 +21,16 @@ pub trait DutyCyclePolicy: Send + Sync {
 
     /// Chooses the duty cycle given the (possibly clamped) energy status.
     fn choose(&mut self, node: &SensorNode, status: &EnergyStatus) -> DutyCycle;
+
+    /// How many times this policy has engaged a failover path (degraded
+    /// duty after detecting an energy collapse).
+    ///
+    /// Plain policies never fail over; recovery wrappers (the
+    /// `FailoverPolicy`) override this so the simulation runner can emit
+    /// a `FailoverEngaged` event when the count rises.
+    fn failover_count(&self) -> u64 {
+        0
+    }
 }
 
 /// A constant duty cycle, whatever the energy situation — all a platform

@@ -98,6 +98,78 @@ impl InputChannel {
         core::mem::replace(&mut self.harvester, new)
     }
 
+    /// Rebuilds the harvester in place through `wrap` — simulation
+    /// instrumentation (fault injection, derating) around whatever is
+    /// plugged in, as opposed to the hardware swap above.
+    pub fn wrap_harvester(
+        &mut self,
+        wrap: impl FnOnce(Box<dyn Transducer>) -> Box<dyn Transducer>,
+    ) {
+        // A transducer must sit in the slot while `wrap` runs; a dead
+        // placeholder stands in and is dropped on return.
+        struct Placeholder;
+        impl Transducer for Placeholder {
+            fn name(&self) -> &str {
+                "placeholder"
+            }
+            fn kind(&self) -> mseh_harvesters::HarvesterKind {
+                mseh_harvesters::HarvesterKind::Photovoltaic
+            }
+            fn current_at(&self, _v: Volts, _env: &EnvConditions) -> mseh_units::Amps {
+                mseh_units::Amps::ZERO
+            }
+            fn open_circuit_voltage(&self, _env: &EnvConditions) -> Volts {
+                Volts::ZERO
+            }
+        }
+        let old = core::mem::replace(&mut self.harvester, Box::new(Placeholder));
+        self.harvester = wrap(old);
+    }
+
+    /// Rebuilds the front-end converter in place through `wrap` (e.g.
+    /// a scheduled-brownout wrapper).
+    pub fn wrap_converter(
+        &mut self,
+        wrap: impl FnOnce(Box<dyn PowerStage>) -> Box<dyn PowerStage>,
+    ) {
+        struct Placeholder;
+        impl PowerStage for Placeholder {
+            fn name(&self) -> &str {
+                "placeholder"
+            }
+            fn quiescent(&self) -> Watts {
+                Watts::ZERO
+            }
+            fn accepts_input_voltage(&self, _v: Volts) -> bool {
+                false
+            }
+            fn output_voltage(&self) -> Volts {
+                Volts::ZERO
+            }
+            fn output_for_input(&self, _p: Watts, _v: Volts) -> Watts {
+                Watts::ZERO
+            }
+            fn input_for_output(&self, _p: Watts, _v: Volts) -> Watts {
+                Watts::ZERO
+            }
+        }
+        let old = core::mem::replace(&mut self.converter, Box::new(Placeholder));
+        self.converter = wrap(old);
+    }
+
+    /// Cumulative `(fired, cleared)` fault counts across the channel's
+    /// blocks (harvester dropouts + converter/protection brownouts).
+    pub fn fault_counts(&self) -> (u64, u64) {
+        (
+            self.harvester.fault_fire_count()
+                + self.converter.fault_fire_count()
+                + self.protection.fault_fire_count(),
+            self.harvester.fault_clear_count()
+                + self.converter.fault_clear_count()
+                + self.protection.fault_clear_count(),
+        )
+    }
+
     /// The housekeeping the channel draws even when its source is dead
     /// (converter + protection standing draw; the controller gates itself
     /// off). This is the channel's contribution to the platform's
@@ -108,6 +180,10 @@ impl InputChannel {
 
     /// Runs the channel for `dt` under `env`.
     pub fn step(&mut self, env: &EnvConditions, dt: Seconds) -> HarvestStep {
+        // Stages with internal clocks (scheduled-brownout wrappers) age
+        // by operating time.
+        self.protection.advance(dt);
+        self.converter.advance(dt);
         let v_op = self
             .controller
             .choose_voltage(self.harvester.as_ref(), env, dt);

@@ -1,7 +1,7 @@
 //! The [`PowerStage`] trait — any block that moves power between two
 //! voltage domains (converters, regulators, diode input stages).
 
-use mseh_units::{Volts, Watts};
+use mseh_units::{Seconds, Volts, Watts};
 
 /// A power-processing stage between an input and an output voltage domain.
 ///
@@ -35,6 +35,25 @@ pub trait PowerStage: Send + Sync {
     ///
     /// [`output_for_input`]: PowerStage::output_for_input
     fn input_for_output(&self, p_out: Watts, v_in: Volts) -> Watts;
+
+    /// Advances the stage's internal clock by `dt`.
+    ///
+    /// Most stages are stateless and ignore this; scheduled-fault
+    /// wrappers (converter brownouts) use it to track operating time.
+    /// Callers that step a platform should forward their step width here.
+    fn advance(&mut self, dt: Seconds) {
+        let _ = dt;
+    }
+
+    /// Number of scheduled faults (brownouts) this stage has fired.
+    fn fault_fire_count(&self) -> u64 {
+        0
+    }
+
+    /// Number of fired faults that have cleared.
+    fn fault_clear_count(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

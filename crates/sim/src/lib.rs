@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod ensemble;
 mod fault;
 mod metrics;
@@ -70,11 +71,17 @@ mod platform;
 mod runner;
 mod sweep;
 
+pub use campaign::{
+    run_resilience_campaign, run_resilience_campaign_with_threads, CampaignConfig, CampaignSummary,
+    FaultScenario, ScenarioOutcome,
+};
 pub use ensemble::{
     run_seed_ensemble, run_seed_ensemble_instrumented, run_seed_ensemble_seq,
     run_seed_ensemble_with_threads, EnsembleSummary, InstrumentedEnsemble, Spread,
 };
-pub use fault::{DegradingHarvester, FailingStorage};
+pub use fault::{
+    DegradingHarvester, FailingStorage, FaultSchedule, GlitchingHarvester, IntermittentStorage,
+};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, DEFAULT_BUCKETS};
 pub use observe::{
     AuditReport, ConservationAuditor, EventSink, MetricsObserver, RingRecorder, SimEvent,

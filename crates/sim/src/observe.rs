@@ -120,12 +120,32 @@ pub enum SimEvent {
         energy: Joules,
     },
     /// Storage capacity dropped since the last check — a device failed
-    /// or degraded (detected at control-window granularity).
+    /// or degraded (detected at control-window granularity), or an
+    /// injected fault wrapper reported a firing through its fired-count
+    /// (which also catches faults that fire *and* clear inside one
+    /// window).
     FaultFire {
         /// Time of the window at which the drop was observed.
         time: Seconds,
         /// Capacity lost since the previous window.
         lost_capacity: Joules,
+    },
+    /// A previously fired fault cleared — the device recovered
+    /// (detected at control-window granularity from the platform's
+    /// fault-clear count).
+    FaultClear {
+        /// Time of the window at which the recovery was observed.
+        time: Seconds,
+        /// Capacity restored since the previous window.
+        restored_capacity: Joules,
+    },
+    /// The duty-cycle policy engaged its failover path (degraded duty
+    /// and/or a store re-route) after detecting an energy collapse.
+    FailoverEngaged {
+        /// Time of the window at which the failover was observed.
+        time: Seconds,
+        /// The duty the policy chose for the degraded window.
+        duty: DutyCycle,
     },
     /// A control window closes.
     WindowEnd {
@@ -156,6 +176,8 @@ impl SimEvent {
             SimEvent::StoreDischarge { .. } => "store_discharge",
             SimEvent::Shortfall { .. } => "shortfall",
             SimEvent::FaultFire { .. } => "fault_fire",
+            SimEvent::FaultClear { .. } => "fault_clear",
+            SimEvent::FailoverEngaged { .. } => "failover_engaged",
             SimEvent::WindowEnd { .. } => "window_end",
             SimEvent::RunEnd { .. } => "run_end",
         }
@@ -173,6 +195,8 @@ impl SimEvent {
             | SimEvent::StoreDischarge { time, .. }
             | SimEvent::Shortfall { time, .. }
             | SimEvent::FaultFire { time, .. }
+            | SimEvent::FaultClear { time, .. }
+            | SimEvent::FailoverEngaged { time, .. }
             | SimEvent::WindowEnd { time, .. }
             | SimEvent::RunEnd { time } => time,
         }
@@ -210,6 +234,10 @@ impl SimEvent {
             SimEvent::FaultFire { lost_capacity, .. } => {
                 [Some(lost_capacity.value()), None, None, None]
             }
+            SimEvent::FaultClear {
+                restored_capacity, ..
+            } => [Some(restored_capacity.value()), None, None, None],
+            SimEvent::FailoverEngaged { duty, .. } => [Some(duty.value()), None, None, None],
             SimEvent::WindowEnd { stored, losses, .. } => {
                 [Some(stored.value()), Some(losses.value()), None, None]
             }
@@ -238,6 +266,8 @@ impl SimEvent {
             SimEvent::PolicyChange { .. } => &["from", "to"],
             SimEvent::ConversionLoss { .. } => &["converter_j", "overhead_j"],
             SimEvent::FaultFire { .. } => &["lost_capacity_j"],
+            SimEvent::FaultClear { .. } => &["restored_capacity_j"],
+            SimEvent::FailoverEngaged { .. } => &["duty"],
             SimEvent::WindowEnd { .. } => &["stored_j", "losses_j"],
             SimEvent::RunStart { .. } | SimEvent::RunEnd { .. } => &[],
             _ => &["energy_j"],
@@ -291,6 +321,10 @@ pub trait SimObserver {
     fn on_shortfall(&mut self, time: Seconds, energy: Joules) {}
     /// Storage capacity dropped — a device failed or degraded.
     fn on_fault_fire(&mut self, time: Seconds, lost_capacity: Joules) {}
+    /// A fired fault cleared — the device recovered.
+    fn on_fault_clear(&mut self, time: Seconds, restored_capacity: Joules) {}
+    /// The policy engaged its failover path.
+    fn on_failover_engaged(&mut self, time: Seconds, duty: DutyCycle) {}
     /// A control window closes.
     fn on_window_end(&mut self, time: Seconds, stored: Joules, losses: Joules) {}
     /// The run is over.
@@ -322,6 +356,11 @@ pub trait SimObserver {
                 time,
                 lost_capacity,
             } => self.on_fault_fire(time, lost_capacity),
+            SimEvent::FaultClear {
+                time,
+                restored_capacity,
+            } => self.on_fault_clear(time, restored_capacity),
+            SimEvent::FailoverEngaged { time, duty } => self.on_failover_engaged(time, duty),
             SimEvent::WindowEnd {
                 time,
                 stored,
@@ -584,6 +623,20 @@ impl SimObserver for MetricsObserver {
         self.registry.counter_add("sim_faults_total", &[], 1.0);
         self.registry
             .counter_add("sim_lost_capacity_joules_total", &[], lost_capacity.value());
+    }
+
+    fn on_fault_clear(&mut self, _time: Seconds, restored_capacity: Joules) {
+        self.registry
+            .counter_add("sim_fault_clears_total", &[], 1.0);
+        self.registry.counter_add(
+            "sim_restored_capacity_joules_total",
+            &[],
+            restored_capacity.value(),
+        );
+    }
+
+    fn on_failover_engaged(&mut self, _time: Seconds, _duty: DutyCycle) {
+        self.registry.counter_add("sim_failovers_total", &[], 1.0);
     }
 
     fn on_window_end(&mut self, _time: Seconds, stored: Joules, _losses: Joules) {

@@ -28,6 +28,25 @@ pub trait Platform {
     /// Total actual storage capacity; a drop between control windows is
     /// reported to observers as a fault firing.
     fn storage_capacity(&self) -> Joules;
+
+    /// Cumulative `(fired, cleared)` fault counts across the platform's
+    /// devices (storage, harvesters, converters).
+    ///
+    /// The runner polls this at control-window edges so injected faults
+    /// that fire *and* clear within one window — invisible to the
+    /// capacity-drop check — still produce their `FaultFire` /
+    /// `FaultClear` event pair. Platforms without fault-injection
+    /// wrappers report `(0, 0)`.
+    fn fault_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Energy currently stranded by active faults (stored content that
+    /// physically exists but cannot be delivered). Zero when no fault
+    /// wrapper is active.
+    fn stranded_energy(&self) -> Joules {
+        Joules::ZERO
+    }
 }
 
 impl Platform for PowerUnit {
@@ -53,6 +72,14 @@ impl Platform for PowerUnit {
 
     fn storage_capacity(&self) -> Joules {
         PowerUnit::storage_capacity(self)
+    }
+
+    fn fault_counts(&self) -> (u64, u64) {
+        PowerUnit::fault_counts(self)
+    }
+
+    fn stranded_energy(&self) -> Joules {
+        PowerUnit::stranded_energy(self)
     }
 }
 

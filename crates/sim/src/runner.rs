@@ -214,6 +214,61 @@ pub fn run_simulation_observed(
     let observing = !observers.is_empty();
     let mut prev_duty: Option<DutyCycle> = None;
     let mut prev_capacity = platform.storage_capacity();
+    let mut prev_faults = platform.fault_counts();
+    let mut prev_failovers = policy.failover_count();
+
+    // Polls the platform's fault counters (and capacity, as a fallback
+    // signal for unscheduled degradation) and emits the FaultFire /
+    // FaultClear events accrued since the previous poll. Count-based
+    // reporting catches faults that fire *and* clear inside one control
+    // window, which a capacity-drop check alone cannot see.
+    fn poll_faults(
+        observers: &mut [&mut dyn SimObserver],
+        platform: &dyn Platform,
+        t: Seconds,
+        prev_capacity: &mut Joules,
+        prev_faults: &mut (u64, u64),
+    ) {
+        let capacity = platform.storage_capacity();
+        let (fires, clears) = platform.fault_counts();
+        let lost = (*prev_capacity - capacity).max(Joules::ZERO);
+        let restored = (capacity - *prev_capacity).max(Joules::ZERO);
+        if fires > prev_faults.0 {
+            // The capacity drop (if any) is attributed to the first new
+            // firing; a same-window fire+clear nets to zero capacity
+            // change and reports zero.
+            for k in 0..fires - prev_faults.0 {
+                for obs in observers.iter_mut() {
+                    obs.on_event(&SimEvent::FaultFire {
+                        time: t,
+                        lost_capacity: if k == 0 { lost } else { Joules::ZERO },
+                    });
+                }
+            }
+        } else if capacity.value() < prev_capacity.value() {
+            // No counter moved but capacity still fell: unscheduled
+            // degradation (e.g. a bare FailingStorage), reported as
+            // before.
+            for obs in observers.iter_mut() {
+                obs.on_event(&SimEvent::FaultFire {
+                    time: t,
+                    lost_capacity: lost,
+                });
+            }
+        }
+        if clears > prev_faults.1 {
+            for k in 0..clears - prev_faults.1 {
+                for obs in observers.iter_mut() {
+                    obs.on_event(&SimEvent::FaultClear {
+                        time: t,
+                        restored_capacity: if k == 0 { restored } else { Joules::ZERO },
+                    });
+                }
+            }
+        }
+        *prev_capacity = capacity;
+        *prev_faults = (fires, clears);
+    }
     if observing {
         emit(
             observers,
@@ -289,19 +344,20 @@ pub fn run_simulation_observed(
                     );
                 }
             }
-            // Storage faults manifest as capacity loss; polled at window
+            // Fault counters and capacity are polled at window
             // granularity so the hot loop stays untouched.
-            let capacity = platform.storage_capacity();
-            if capacity.value() < prev_capacity.value() {
-                emit(
-                    observers,
-                    SimEvent::FaultFire {
-                        time: t_win,
-                        lost_capacity: prev_capacity - capacity,
-                    },
-                );
+            poll_faults(
+                observers,
+                platform,
+                t_win,
+                &mut prev_capacity,
+                &mut prev_faults,
+            );
+            let failovers = policy.failover_count();
+            if failovers > prev_failovers {
+                emit(observers, SimEvent::FailoverEngaged { time: t_win, duty });
+                prev_failovers = failovers;
             }
-            prev_capacity = capacity;
         }
         prev_duty = Some(duty);
 
@@ -425,16 +481,17 @@ pub fn run_simulation_observed(
 
     if observing {
         let t_end = config.start_at + config.duration;
-        // Catch a failure during the final window.
-        let capacity = platform.storage_capacity();
-        if capacity.value() < prev_capacity.value() {
-            emit(
-                observers,
-                SimEvent::FaultFire {
-                    time: t_end,
-                    lost_capacity: prev_capacity - capacity,
-                },
-            );
+        // Catch faults and failovers during the final window.
+        poll_faults(
+            observers,
+            platform,
+            t_end,
+            &mut prev_capacity,
+            &mut prev_faults,
+        );
+        if policy.failover_count() > prev_failovers {
+            let duty = prev_duty.unwrap_or(DutyCycle::ZERO);
+            emit(observers, SimEvent::FailoverEngaged { time: t_end, duty });
         }
         emit(observers, SimEvent::RunEnd { time: t_end });
     }

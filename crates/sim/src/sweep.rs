@@ -89,11 +89,20 @@ pub fn first_meeting(points: &[SweepPoint], threshold: f64) -> Option<SweepPoint
 ///
 /// Used by experiment E3 to find the harvest level where MPPT starts
 /// paying for its overhead.
+///
+/// Grid equality is judged to a relative tolerance (1 part in 10⁹), so
+/// two grids built by equivalent-but-reordered arithmetic (e.g.
+/// [`geometric_grid`] versus a hand-rolled `lo * r.powi(i)` loop) still
+/// compare as the same grid instead of being rejected over one ULP.
 pub fn crossover(a: &[SweepPoint], b: &[SweepPoint]) -> Option<f64> {
     if a.len() != b.len() {
         return None;
     }
-    if a.iter().zip(b).any(|(pa, pb)| pa.parameter != pb.parameter) {
+    let same = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs());
+    if a.iter()
+        .zip(b)
+        .any(|(pa, pb)| !same(pa.parameter, pb.parameter))
+    {
         return None;
     }
     a.iter()
@@ -112,7 +121,14 @@ pub fn geometric_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
     assert!(n >= 2, "need at least two points");
     let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
-    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+    let mut grid: Vec<f64> = (0..n).map(|i| lo * ratio.powi(i as i32)).collect();
+    // powf/powi round-off leaves dust on the endpoints (lo * r^(n-1) is
+    // not exactly hi), which breaks exact-bound comparisons downstream —
+    // a sweep that should include the caller's hi can stop one ULP
+    // short. Snap both ends to the requested bounds.
+    grid[0] = lo;
+    grid[n - 1] = hi;
+    grid
 }
 
 /// Durations in whole days as a grid of seconds (for horizon sweeps).
@@ -186,6 +202,46 @@ mod tests {
         assert!((g[0] - 1.0).abs() < 1e-12);
         assert!((g[1] - 10.0).abs() < 1e-9);
         assert!((g[3] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_endpoints_are_exact() {
+        // Regression: powf round-off used to leave the last point one
+        // ULP off hi (e.g. 99.99999999999997 for hi = 100), so exact
+        // comparisons against the requested bounds failed.
+        for (lo, hi, n) in [(0.1, 100.0, 13), (1.0, 3.0, 7), (2e-6, 5e3, 41)] {
+            let g = geometric_grid(lo, hi, n);
+            assert_eq!(g[0], lo, "lo for ({lo}, {hi}, {n})");
+            assert_eq!(g[n - 1], hi, "hi for ({lo}, {hi}, {n})");
+            // Still strictly ascending after the snap.
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn crossover_tolerates_one_ulp_of_grid_noise() {
+        // Regression: grids computed by equivalent-but-reordered
+        // arithmetic differ in the last bit; exact == rejected them.
+        let grid = geometric_grid(0.5, 64.0, 9);
+        // The same grid via a cumulative product instead of powi: the
+        // rounding accumulates differently.
+        let ratio = (64.0f64 / 0.5).powf(1.0 / 8.0);
+        let mut v = 0.5;
+        let jittered: Vec<f64> = (0..9)
+            .map(|_| {
+                let cur = v;
+                v *= ratio;
+                cur
+            })
+            .collect();
+        assert_ne!(grid, jittered, "jitter should actually perturb bits");
+        let a = sweep(&grid, |x| x * x);
+        let b = sweep(&jittered, |x| 10.0 * x);
+        assert_eq!(crossover(&a, &b), Some(grid[5]));
+        // A genuinely different grid is still rejected.
+        let shifted: Vec<f64> = grid.iter().map(|&x| x * 1.001).collect();
+        let c = sweep(&shifted, |x| x);
+        assert_eq!(crossover(&a, &c), None);
     }
 
     #[test]

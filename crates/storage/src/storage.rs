@@ -87,6 +87,26 @@ pub trait Storage: Send + Sync {
     fn is_depleted(&self) -> bool {
         self.stored_energy().value() <= 1e-3 * self.capacity().value().max(1e-12)
     }
+
+    /// Number of scheduled faults this device has fired so far.
+    ///
+    /// Fault-injection wrappers override this so the simulation runner
+    /// can report faults that fire *and* clear between its polling
+    /// points; plain devices never fault.
+    fn fault_fire_count(&self) -> u64 {
+        0
+    }
+
+    /// Number of fired faults that have cleared (device recovered).
+    fn fault_clear_count(&self) -> u64 {
+        0
+    }
+
+    /// Energy currently stranded inside the device by an active fault
+    /// (content that physically exists but cannot be delivered).
+    fn stranded_energy(&self) -> Joules {
+        Joules::ZERO
+    }
 }
 
 #[cfg(test)]

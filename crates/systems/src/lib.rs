@@ -43,6 +43,7 @@
 mod interfaced;
 pub mod parts;
 pub mod prometheus;
+pub mod resilience;
 mod survey;
 pub mod system_a;
 pub mod system_b;

@@ -1,14 +1,21 @@
 //! Integration: fault injection — platforms with redundant energy devices
 //! ride through device failures that kill single-device designs.
 
-use mseh::core::{PortRequirement, PowerUnit, StoreRole};
+use mseh::core::{
+    IntelligenceLocation, InterfaceKind, PortRequirement, PowerUnit, StoreRole, Supervisor,
+};
 use mseh::env::{EnvSampler, Environment, ReplayEnvironment, Trace};
 use mseh::harvesters::PvModule;
-use mseh::node::{FixedDuty, SensorNode, VoltageThreshold};
+use mseh::node::{DutyCyclePolicy, FailoverPolicy, FixedDuty, SensorNode, VoltageThreshold};
 use mseh::power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
-use mseh::sim::{run_simulation, DegradingHarvester, FailingStorage, SimConfig};
+use mseh::sim::{
+    run_resilience_campaign_with_threads, run_simulation, run_simulation_observed, CampaignConfig,
+    ConservationAuditor, DegradingHarvester, FailingStorage, FaultScenario, FaultSchedule,
+    IntermittentStorage, RingRecorder, SimConfig,
+};
 use mseh::storage::{Battery, Supercap};
-use mseh::units::{DutyCycle, Seconds, Volts, Watts};
+use mseh::systems::{resilience, SystemId};
+use mseh::units::{DutyCycle, Joules, Seconds, Volts, Watts};
 
 fn pv_channel() -> InputChannel {
     InputChannel::new(
@@ -201,4 +208,193 @@ fn replayed_site_trace_drives_a_full_simulation() {
     assert!(result.harvested.value() < 5_000.0, "{:?}", result.harvested);
     assert!(result.audit_residual < 1e-6);
     let _ = Watts::ZERO;
+}
+
+/// A dual-store rig with full monitoring whose primary supercap fails
+/// open on `schedule`; the small secondary cap is all that's left while
+/// the fault holds.
+fn failover_rig(schedule: FaultSchedule) -> PowerUnit {
+    let mut secondary = Supercap::edlc_1f();
+    secondary.set_voltage(Volts::new(2.5));
+    let mut unit = PowerUnit::builder("failover rig")
+        .harvester_port(
+            PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+            Some(pv_channel()),
+            true,
+        )
+        .store_port(
+            PortRequirement::any_in_window("cap", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(charged_cap())),
+            StoreRole::PrimaryBuffer,
+            true,
+        )
+        .store_port(
+            PortRequirement::any_in_window("aux", Volts::ZERO, Volts::new(3.0)),
+            Some(Box::new(secondary)),
+            StoreRole::SecondaryBuffer,
+            true,
+        )
+        .supervisor(Supervisor {
+            location: IntelligenceLocation::PowerUnit,
+            monitoring: mseh::node::MonitoringLevel::Full,
+            interface: InterfaceKind::Digital { two_way: true },
+            overhead: Watts::from_micro(5.0),
+        })
+        .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+        .build();
+    assert!(unit.instrument_store(0, |inner| {
+        Box::new(IntermittentStorage::new(inner, schedule))
+    }));
+    unit
+}
+
+#[test]
+fn failover_policy_lifts_uptime_on_a_multi_store_rig() {
+    // The primary fails open at hour 18 and stays down through the
+    // night; an aggressive always-on duty is hopeless on the 1 F
+    // secondary alone. The failover wrapper detects the collapse and
+    // sheds load until the store comes back.
+    let schedule =
+        FaultSchedule::one_shot_recovering(Seconds::from_hours(18.0), Seconds::from_hours(10.0));
+    let node = SensorNode::milliwatt_class();
+    let env = Environment::outdoor_temperate(23);
+    let config = SimConfig::over(Seconds::from_days(2.0));
+
+    let mut plain_unit = failover_rig(schedule.clone());
+    let mut plain_policy = FixedDuty::new(DutyCycle::ONE);
+    let plain = run_simulation(&mut plain_unit, &env, &node, &mut plain_policy, config);
+
+    let mut wrapped_unit = failover_rig(schedule);
+    let mut wrapped_policy = FailoverPolicy::new(Box::new(FixedDuty::new(DutyCycle::ONE)))
+        .with_hold(Seconds::from_hours(6.0));
+    let mut auditor = ConservationAuditor::new();
+    let wrapped = run_simulation_observed(
+        &mut wrapped_unit,
+        &env,
+        &node,
+        &mut wrapped_policy,
+        config,
+        &mut [&mut auditor],
+    );
+
+    assert!(
+        wrapped_policy.failover_count() >= 1,
+        "the collapse must actually be detected"
+    );
+    assert!(
+        wrapped.uptime > plain.uptime + 0.05,
+        "failover uptime {} vs plain {}",
+        wrapped.uptime,
+        plain.uptime
+    );
+    // The books stay closed through the fault, the failover and the
+    // recovery.
+    assert!(plain.audit_residual < 1e-6, "{}", plain.audit_residual);
+    assert!(
+        auditor.report().worst_relative < 1e-6,
+        "{}",
+        auditor.report()
+    );
+}
+
+#[test]
+fn fault_fire_and_clear_inside_one_window_both_surface() {
+    // Regression: the runner used to infer faults from capacity drops
+    // at window edges, so a fault that fired *and* cleared between two
+    // polls (here: down from t=120 s to t=300 s, inside the first
+    // 10-minute control window) was invisible. The wrappers now expose
+    // fired/cleared counters and the runner emits the missed pair.
+    let schedule = FaultSchedule::one_shot_recovering(Seconds::new(120.0), Seconds::new(180.0));
+    let mut unit = failover_rig(schedule);
+    // Big enough that per-step harvest/discharge events can't evict the
+    // one fault pair we're looking for.
+    let mut ring = RingRecorder::new(4096);
+    let result = run_simulation_observed(
+        &mut unit,
+        &Environment::outdoor_temperate(5),
+        &SensorNode::submilliwatt_class(),
+        &mut FixedDuty::new(DutyCycle::saturating(0.05)),
+        SimConfig::over(Seconds::from_hours(1.0)),
+        &mut [&mut ring],
+    );
+    let kinds: Vec<&str> = ring.events().iter().map(|e| e.kind()).collect();
+    assert!(
+        kinds.contains(&"fault_fire"),
+        "fire event missing: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"fault_clear"),
+        "clear event missing: {kinds:?}"
+    );
+    assert!(result.audit_residual < 1e-6);
+    let (fires, clears) = unit.fault_counts();
+    assert_eq!((fires, clears), (1, 1));
+}
+
+#[test]
+fn campaign_metrics_are_thread_count_invariant_for_every_system() {
+    // The acceptance bar for the campaign engine: availability metrics
+    // for all seven Table-I systems are bit-identical at 1, 2 and 4
+    // worker threads.
+    let horizon = Seconds::from_hours(12.0);
+    let seeds = [1u64, 2, 3];
+    for id in SystemId::ALL {
+        let run = |threads: usize| {
+            run_resilience_campaign_with_threads(
+                threads,
+                &seeds,
+                |seed| resilience::resilience_scenario(id, seed, horizon),
+                &resilience::natural_node(id),
+                CampaignConfig::over(horizon),
+            )
+        };
+        let base = run(1);
+        assert!(
+            base.worst_audit_relative < 1e-6,
+            "{id}: audit {}",
+            base.worst_audit_relative
+        );
+        for threads in [2, 4] {
+            assert_eq!(base, run(threads), "{id} diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn campaign_counts_recoveries_made_through_the_hot_swap_path() {
+    // A recovery hook that re-routes to a fresh store through the
+    // existing management path: detach whatever sits on the secondary
+    // port and hot-swap in a charged spare.
+    let schedule = FaultSchedule::one_shot(Seconds::from_hours(1.0));
+    let horizon = Seconds::from_hours(4.0);
+    let summary = run_resilience_campaign_with_threads(
+        1,
+        &[5],
+        |seed| {
+            FaultScenario::new(
+                failover_rig(schedule.clone()),
+                Environment::outdoor_temperate(seed),
+                Box::new(FixedDuty::new(DutyCycle::saturating(0.2))),
+                schedule.clone(),
+            )
+            .with_recovery(|unit: &mut PowerUnit, _now| {
+                let mut spare = Supercap::edlc_22f();
+                spare.set_voltage(Volts::new(2.5));
+                unit.detach_storage(1);
+                unit.attach_storage(1, Box::new(spare), None).is_ok()
+            })
+        },
+        &SensorNode::submilliwatt_class(),
+        CampaignConfig::over(horizon).with_check_interval(Seconds::from_hours(1.0)),
+    );
+    let outcome = &summary.outcomes[0];
+    assert_eq!(outcome.faults_fired, 1);
+    assert_eq!(outcome.faults_cleared, 0, "one-shot never self-clears");
+    assert!(outcome.recoveries >= 1, "{outcome:?}");
+    assert!(
+        outcome.time_to_recover.is_some(),
+        "hook repair counts as the recovery signal"
+    );
+    assert!(outcome.energy_stranded > Joules::ZERO, "{outcome:?}");
+    assert!(summary.worst_audit_relative < 1e-6, "{summary:?}");
 }

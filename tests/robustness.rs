@@ -96,3 +96,52 @@ fn conservation_is_seed_robust() {
     // degenerate).
     assert!(both.harvested.max > 1.1 * both.harvested.min);
 }
+
+#[test]
+fn conservation_holds_under_injected_faults_across_seeds() {
+    // Fault wrappers strand and restore energy mid-run; the per-window
+    // audit must still close to numerical precision for every seed,
+    // through every fire, clear and failover engagement.
+    use mseh::node::FailoverPolicy;
+    use mseh::sim::{
+        run_resilience_campaign_with_threads, CampaignConfig, FaultScenario, FaultSchedule,
+        IntermittentStorage,
+    };
+
+    let horizon = Seconds::from_hours(18.0);
+    let summary = run_resilience_campaign_with_threads(
+        2,
+        &SEEDS,
+        |seed| {
+            let schedule = FaultSchedule::stochastic(
+                seed,
+                Seconds::from_hours(3.0),
+                Seconds::from_minutes(40.0),
+                horizon,
+            );
+            let mut unit = rig(true, true);
+            assert!(unit.instrument_store(0, |inner| {
+                Box::new(IntermittentStorage::new(inner, schedule.clone()))
+            }));
+            FaultScenario::new(
+                unit,
+                Environment::outdoor_temperate(seed),
+                Box::new(FailoverPolicy::new(Box::new(FixedDuty::new(
+                    DutyCycle::saturating(0.3),
+                )))),
+                schedule,
+            )
+        },
+        &SensorNode::submilliwatt_class(),
+        CampaignConfig::over(horizon),
+    );
+    assert!(summary.total_faults > 0, "{summary:?}");
+    for outcome in &summary.outcomes {
+        assert!(
+            outcome.audit.worst_relative < 1e-6,
+            "seed {}: audit {}",
+            outcome.seed,
+            outcome.audit.worst_relative
+        );
+    }
+}
