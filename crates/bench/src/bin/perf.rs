@@ -30,14 +30,20 @@ use mseh_node::{FixedDuty, SensorNode};
 use mseh_sim::{
     run_resilience_campaign_with_threads, run_seed_ensemble_seq, run_seed_ensemble_with_threads,
     run_simulation, run_simulation_observed, CampaignConfig, ConservationAuditor, MetricsObserver,
-    SimConfig, SimResult,
+    Platform, SimConfig, SimResult, Tandem,
 };
 use mseh_systems::{resilience, SystemId};
 use mseh_units::{DutyCycle, Seconds};
 
 const SINGLE_RUN_DAYS: f64 = 7.0;
 const ENSEMBLE_DAYS: f64 = 2.0;
-const OVERHEAD_DAYS: f64 = 2.0;
+const OVERHEAD_DAYS: f64 = 14.0;
+/// Interleaved repetitions of the overhead measurement; each
+/// attachment's time is the minimum across reps, which is robust to the
+/// additive noise of a shared host (overhead percentages are small
+/// differences of close numbers, so a single slow rep would otherwise
+/// dominate them).
+const OVERHEAD_REPS: usize = 9;
 const SEEDS: [u64; 16] = [
     3, 17, 101, 444, 1234, 9000, 31337, 99999, 7, 21, 55, 89, 144, 233, 377, 610,
 ];
@@ -83,39 +89,50 @@ enum Attach {
     Instrumented,
 }
 
-/// Best-of-3 wall seconds for one run under the given attachment.
-fn time_attach(attach: Attach, config: SimConfig, node: &SensorNode) -> (f64, SimResult) {
+/// Wall seconds for one run under the given attachment.
+fn time_attach_once(attach: Attach, config: SimConfig, node: &SensorNode) -> (f64, SimResult) {
     let env = Environment::outdoor_temperate(42);
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..3 {
-        let mut unit = SystemId::C.build();
-        let mut policy = duty();
-        let start = Instant::now();
-        let result = match attach {
-            Attach::Bare => run_simulation(&mut unit, &env, node, &mut policy, config),
-            Attach::NoopObserved => {
-                run_simulation_observed(&mut unit, &env, node, &mut policy, config, &mut [])
-            }
-            Attach::Instrumented => {
-                let mut meter = MetricsObserver::new();
-                let mut auditor = ConservationAuditor::new();
-                let result = run_simulation_observed(
-                    &mut unit,
-                    &env,
-                    node,
-                    &mut policy,
-                    config,
-                    &mut [&mut meter, &mut auditor],
-                );
-                assert!(auditor.report().worst_relative < 1e-6);
-                result
-            }
-        };
-        best = best.min(start.elapsed().as_secs_f64());
-        last = Some(result);
-    }
-    (best, last.expect("ran"))
+    let mut unit = SystemId::C.build();
+    let mut policy = duty();
+    let start = Instant::now();
+    let result = match attach {
+        Attach::Bare => run_simulation(&mut unit, &env, node, &mut policy, config),
+        Attach::NoopObserved => {
+            run_simulation_observed(&mut unit, &env, node, &mut policy, config, &mut [])
+        }
+        Attach::Instrumented => {
+            let mut meter = MetricsObserver::new();
+            let mut auditor = ConservationAuditor::new();
+            // One dynamic dispatch per delivery instead of two: the
+            // pair rides in a `Tandem`, as the experiments attach them.
+            let mut both = Tandem(&mut meter, &mut auditor);
+            let result = run_simulation_observed(
+                &mut unit,
+                &env,
+                node,
+                &mut policy,
+                config,
+                &mut [&mut both],
+            );
+            assert!(auditor.report().worst_relative < 1e-6);
+            result
+        }
+    };
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// Name of the Cargo profile directory the binary was built into
+/// (`release`, `perf`, ...), recorded in the JSON `host` block so the
+/// baseline says how it was compiled.
+fn build_profile() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.parent()
+                .and_then(|dir| dir.file_name())
+                .map(|name| name.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 fn main() {
@@ -136,8 +153,11 @@ fn main() {
             format!("{repo_root}/BENCH_sim.json")
         }
     });
+    // Quick keeps the ensemble/campaign budgets tiny, but the two timed
+    // sections need a few milliseconds per measurement or jitter
+    // swamps the percentages they report.
     let (single_days, ensemble_days, overhead_days) = if quick {
-        (0.5, 0.25, 0.25)
+        (2.0, 0.25, 3.0)
     } else {
         (SINGLE_RUN_DAYS, ENSEMBLE_DAYS, OVERHEAD_DAYS)
     };
@@ -151,25 +171,91 @@ fn main() {
         ..SimConfig::over(Seconds::from_days(single_days))
     };
     let steps = step_count(single_cfg);
-    let mut unit = SystemId::C.build();
-    let mut policy = duty();
     let env = Environment::outdoor_temperate(42);
-    let start = Instant::now();
-    let result = run_simulation(&mut unit, &env, &node, &mut policy, single_cfg);
-    let single_secs = start.elapsed().as_secs_f64();
+    // Best of a few reps: the measured span is short (milliseconds), so
+    // a single shot is dominated by first-touch page faults and host
+    // noise. Every rep runs a fresh unit; results are identical by
+    // determinism, so only the timing varies.
+    let mut single_secs = f64::INFINITY;
+    let mut unit = SystemId::C.build();
+    let mut result = None;
+    for _ in 0..5 {
+        unit = SystemId::C.build();
+        let mut policy = duty();
+        let start = Instant::now();
+        let rep = run_simulation(&mut unit, &env, &node, &mut policy, single_cfg);
+        single_secs = single_secs.min(start.elapsed().as_secs_f64());
+        if let Some(prev) = &result {
+            assert_eq!(prev, &rep, "single-run reps must be bit-identical");
+        }
+        result = Some(rep);
+    }
+    let result = result.expect("at least one rep ran");
     assert!(result.audit_residual < 1e-6);
     let steps_per_sec = steps as f64 / single_secs;
+    let cache_stats = Platform::kernel_cache_stats(&unit);
     println!(
         "single run : {single_days} days, {steps} steps in {single_secs:.3} s \
          ({steps_per_sec:.0} steps/s, recording on)"
     );
+    println!(
+        "kernelcache: {} hits / {} misses / {} invalidations (hit rate {:.3})",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.invalidations,
+        cache_stats.hit_rate()
+    );
+
+    // --- Exactness gate: cached ≡ uncached, bit for bit. ------------
+    // Replaying the operating-point kernel cache must be invisible in
+    // the results; a fresh unit with caching disabled is the reference.
+    {
+        let mut cold = SystemId::C.build();
+        Platform::set_kernel_cache_enabled(&mut cold, false);
+        let mut cold_policy = duty();
+        let cold_result = run_simulation(&mut cold, &env, &node, &mut cold_policy, single_cfg);
+        assert_eq!(
+            Platform::kernel_cache_stats(&cold),
+            Default::default(),
+            "disabled cache still counted"
+        );
+        assert_eq!(
+            result, cold_result,
+            "kernel cache changed simulation results"
+        );
+        println!("determinism: cached run bit-identical to uncached reference (System C)");
+    }
 
     // --- Observability overhead: bare vs no-op vs instrumented. -----
+    // Attachments are interleaved per rep so host-load drift hits all
+    // three alike, and each keeps its minimum.
     let overhead_cfg = SimConfig::over(Seconds::from_days(overhead_days));
     let overhead_steps = step_count(overhead_cfg) as f64;
-    let (bare_secs, bare_result) = time_attach(Attach::Bare, overhead_cfg, &node);
-    let (noop_secs, noop_result) = time_attach(Attach::NoopObserved, overhead_cfg, &node);
-    let (inst_secs, inst_result) = time_attach(Attach::Instrumented, overhead_cfg, &node);
+    let reps = if quick { 5 } else { OVERHEAD_REPS };
+    // The tracked full run enforces the real ≤3 % budget; the quick
+    // smoke measures a much shorter span, where a couple of percent of
+    // scheduler jitter survives even the interleaved minima, so it only
+    // guards against gross regressions.
+    let overhead_budget = if quick { 10.0 } else { 3.0 };
+    let (mut bare_secs, mut noop_secs, mut inst_secs) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let (mut bare_result, mut noop_result, mut inst_result) = (None, None, None);
+    for _ in 0..reps {
+        let (b, br) = time_attach_once(Attach::Bare, overhead_cfg, &node);
+        let (n, nr) = time_attach_once(Attach::NoopObserved, overhead_cfg, &node);
+        let (i, ir) = time_attach_once(Attach::Instrumented, overhead_cfg, &node);
+        bare_secs = bare_secs.min(b);
+        noop_secs = noop_secs.min(n);
+        inst_secs = inst_secs.min(i);
+        bare_result = Some(br);
+        noop_result = Some(nr);
+        inst_result = Some(ir);
+    }
+    let (bare_result, noop_result, inst_result) = (
+        bare_result.expect("ran"),
+        noop_result.expect("ran"),
+        inst_result.expect("ran"),
+    );
     // Observation must not perturb the physics, whatever it costs.
     assert_eq!(
         bare_result, noop_result,
@@ -185,9 +271,13 @@ fn main() {
     println!("overhead   : no observer  {noop_sps:>9.0} steps/s  ({noop_overhead_pct:+.2} %)");
     println!("overhead   : instrumented {inst_sps:>9.0} steps/s  ({inst_overhead_pct:+.2} %)");
     assert!(
-        noop_overhead_pct <= 3.0,
+        noop_overhead_pct <= overhead_budget,
         "observability wiring costs {noop_overhead_pct:.2} % with no observer attached \
-         (budget: 3 %)"
+         (budget: {overhead_budget} %)"
+    );
+    assert!(
+        inst_overhead_pct <= overhead_budget,
+        "metrics + conservation audit cost {inst_overhead_pct:.2} % (budget: {overhead_budget} %)"
     );
 
     // --- Correctness gate: parallel ≡ sequential, bit for bit. ------
@@ -285,7 +375,7 @@ fn main() {
     // --- Emit BENCH_sim.json. ---------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v4\",");
     let _ = writeln!(
         json,
         "  \"scenario\": \"System C, outdoor temperate, 60 s steps, fixed 5% duty\","
@@ -293,13 +383,25 @@ fn main() {
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
-        "  \"host\": {{ \"available_parallelism\": {host_threads} }},"
+        "  \"host\": {{ \"available_parallelism\": {host_threads}, \"profile\": \"{}\" }},",
+        build_profile()
     );
     let _ = writeln!(json, "  \"single_run\": {{");
     let _ = writeln!(json, "    \"days\": {single_days},");
     let _ = writeln!(json, "    \"steps\": {steps},");
     let _ = writeln!(json, "    \"seconds\": {single_secs:.6},");
     let _ = writeln!(json, "    \"steps_per_sec\": {steps_per_sec:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"kernel_cache\": {{");
+    let _ = writeln!(json, "    \"hits\": {},", cache_stats.hits);
+    let _ = writeln!(json, "    \"misses\": {},", cache_stats.misses);
+    let _ = writeln!(
+        json,
+        "    \"invalidations\": {},",
+        cache_stats.invalidations
+    );
+    let _ = writeln!(json, "    \"hit_rate\": {:.6},", cache_stats.hit_rate());
+    let _ = writeln!(json, "    \"cached_matches_uncached\": true");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"instrumentation\": {{");
     let _ = writeln!(json, "    \"days\": {overhead_days},");

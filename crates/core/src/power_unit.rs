@@ -9,7 +9,7 @@
 //! public contract and is property-tested).
 
 use mseh_env::EnvConditions;
-use mseh_harvesters::Transducer;
+use mseh_harvesters::{CacheStats, Transducer};
 use mseh_node::{EnergyStatus, MonitoringLevel};
 use mseh_power::{InputChannel, PowerStage};
 use mseh_storage::Storage;
@@ -591,6 +591,30 @@ impl PowerUnit {
             }
         }
         (fired, cleared)
+    }
+
+    /// Aggregated operating-point kernel-cache counters across every
+    /// input channel (channel step memos plus harvester solve caches).
+    pub fn kernel_cache_stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for port in &self.harvester_ports {
+            if let Some(channel) = port.channel.as_ref() {
+                stats.merge(channel.kernel_cache_stats());
+            }
+        }
+        stats
+    }
+
+    /// Enables or disables the operating-point kernel caches on every
+    /// input channel. Disabling drops all stored entries, so a disabled
+    /// unit solves every step from scratch (the uncached reference path
+    /// the perf harness compares against).
+    pub fn set_kernel_cache_enabled(&mut self, enabled: bool) {
+        for port in &mut self.harvester_ports {
+            if let Some(channel) = port.channel.as_mut() {
+                channel.set_cache_enabled(enabled);
+            }
+        }
     }
 
     /// Energy currently stranded inside attached stores by active faults

@@ -74,6 +74,32 @@ impl EnvConditions {
     pub fn effective_irradiance(&self) -> WattsPerSqM {
         self.irradiance + self.illuminance.to_irradiance_indoor()
     }
+
+    /// Bit-exact signature of every sensed field *except* `time`.
+    ///
+    /// Two snapshots with equal signatures are indistinguishable to any
+    /// quasi-static transducer model, which makes this the memo key for
+    /// the operating-point solve caches: equal bits guarantee a replayed
+    /// result is bit-identical to a fresh solve.
+    pub fn ambient_bits(&self) -> [u64; 9] {
+        [
+            self.irradiance.value().to_bits(),
+            self.illuminance.value().to_bits(),
+            self.wind.value().to_bits(),
+            self.ambient.value().to_bits(),
+            self.hot_surface.value().to_bits(),
+            self.vibration_amp.value().to_bits(),
+            self.vibration_freq.value().to_bits(),
+            self.rf_incident.value().to_bits(),
+            self.water_flow.value().to_bits(),
+        ]
+    }
+
+    /// Whether two snapshots agree bit-for-bit on every field except
+    /// `time`.
+    pub fn same_ambient(&self, other: &Self) -> bool {
+        self.ambient_bits() == other.ambient_bits()
+    }
 }
 
 impl Default for EnvConditions {

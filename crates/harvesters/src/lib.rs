@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod acdc;
+mod cache;
 mod kind;
 mod pv;
 mod rf;
@@ -50,6 +51,7 @@ mod vibration;
 mod wind;
 
 pub use acdc::AcDcInput;
+pub use cache::{CacheStats, SolveCache};
 pub use kind::HarvesterKind;
 pub use pv::PvModule;
 pub use rf::Rectenna;

@@ -5,6 +5,7 @@
 //! point is what makes MPPT worthwhile in Systems A and C, and what the
 //! fixed-point compromise of System B trades away (experiment E3).
 
+use crate::cache::SolveCache;
 use crate::kind::HarvesterKind;
 use crate::transducer::Transducer;
 use mseh_env::EnvConditions;
@@ -47,6 +48,12 @@ pub struct PvModule {
     ideality: f64,
     /// Shunt resistance (Ω); dominates behaviour at indoor light levels.
     r_shunt: f64,
+    /// Diode saturation current, a pure function of the datasheet
+    /// parameters, precomputed at construction so the I–V hot path pays
+    /// one `exp` instead of two.
+    i0: f64,
+    /// Operating-point solve cache (equality- and clone-transparent).
+    cache: SolveCache,
 }
 
 impl PvModule {
@@ -70,6 +77,11 @@ impl PvModule {
             ideality > 0.0 && r_shunt > 0.0,
             "diode parameters must be positive"
         );
+        // Calibrate the saturation current so I(Voc_stc) = 0 at STC and
+        // 25 °C.
+        let vt_stc = ideality * n_series as f64 * K_OVER_Q * 298.15;
+        let leak = voc_stc.value() / r_shunt;
+        let i0 = (isc_stc.value() - leak) / ((voc_stc.value() / vt_stc).exp() - 1.0);
         Self {
             name: name.into(),
             isc_stc,
@@ -77,6 +89,8 @@ impl PvModule {
             n_series,
             ideality,
             r_shunt,
+            i0,
+            cache: SolveCache::new(),
         }
     }
 
@@ -130,12 +144,54 @@ impl PvModule {
         self.ideality * self.n_series as f64 * K_OVER_Q * env.ambient.to_kelvin()
     }
 
-    /// Diode saturation current, calibrated so `I(Voc_stc) = 0` at STC and
-    /// 25 °C.
-    fn saturation_current(&self) -> f64 {
-        let vt_stc = self.ideality * self.n_series as f64 * K_OVER_Q * 298.15;
-        let leak = self.voc_stc.value() / self.r_shunt;
-        (self.isc_stc.value() - leak) / ((self.voc_stc.value() / vt_stc).exp() - 1.0)
+    /// Root of `f(V) = I_ph − I_0·(exp(V/vt) − 1) − V/R_sh` by guarded
+    /// Newton from the high side.
+    ///
+    /// `f` is decreasing and concave, so from any point at or above the
+    /// root Newton descends monotonically onto it with quadratic
+    /// convergence. The ideal-diode closed form `vt·ln(1 + I_ph/I_0)`
+    /// (shunt ignored) sits just above the root (`f` there is exactly
+    /// `−V/R_sh < 0`), making it a deterministic near-root start: the
+    /// whole solve costs a handful of `exp`s where the previous 64-step
+    /// bisection cost 128. The start point is a pure function of the
+    /// inputs — never of solve history — so results are reproducible
+    /// bit-for-bit across runs.
+    fn solve_voc(&self, iph: f64, vt: f64) -> f64 {
+        let hi = self.voc_stc.value() * 1.5;
+        if self.i0 <= 0.0 || !self.i0.is_finite() {
+            return self.bisect_voc(iph, vt, hi);
+        }
+        let mut v = (vt * (iph / self.i0).ln_1p()).min(hi);
+        for _ in 0..32 {
+            let e = (v / vt).exp();
+            let f = iph - self.i0 * (e - 1.0) - v / self.r_shunt;
+            let fp = -self.i0 * e / vt - 1.0 / self.r_shunt;
+            let next = v - f / fp;
+            if !next.is_finite() || next < 0.0 || next > hi {
+                return self.bisect_voc(iph, vt, hi);
+            }
+            if (next - v).abs() <= 1e-12 * v.abs().max(1e-3) {
+                return next;
+            }
+            v = next;
+        }
+        v
+    }
+
+    /// Bisection fallback over `[0, hi]`, the guard path when Newton
+    /// leaves the bracket (degenerate parameters).
+    fn bisect_voc(&self, iph: f64, vt: f64, hi0: f64) -> f64 {
+        let (mut lo, mut hi) = (0.0, hi0);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            let f = iph - self.i0 * ((mid / vt).exp() - 1.0) - mid / self.r_shunt;
+            if f > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
     }
 }
 
@@ -156,9 +212,8 @@ impl Transducer for PvModule {
         if iph <= 0.0 {
             return Amps::ZERO;
         }
-        let i0 = self.saturation_current();
         let vt = self.vt_stack(env);
-        let diode = i0 * ((v.value() / vt).exp() - 1.0);
+        let diode = self.i0 * ((v.value() / vt).exp() - 1.0);
         let shunt = v.value() / self.r_shunt;
         Amps::new((iph - diode - shunt).max(0.0))
     }
@@ -168,18 +223,26 @@ impl Transducer for PvModule {
         if iph <= 0.0 {
             return Volts::ZERO;
         }
-        // Bisection on the full equation (the shunt term precludes the
-        // closed form).
-        let (mut lo, mut hi) = (0.0, self.voc_stc.value() * 1.5);
-        for _ in 0..64 {
-            let mid = 0.5 * (lo + hi);
-            if self.current_at(Volts::new(mid), env).value() > 0.0 {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        Volts::new(0.5 * (lo + hi))
+        let v = self.cache.voc(Transducer::env_signature(self, env), || {
+            self.solve_voc(iph, self.vt_stack(env))
+        });
+        Volts::new(v)
+    }
+
+    fn solve_cache(&self) -> Option<&SolveCache> {
+        Some(&self.cache)
+    }
+
+    fn env_signature(&self, env: &EnvConditions) -> [u64; 4] {
+        // Every ambient field the I–V curve reads: irradiance and
+        // illuminance (photocurrent), ambient temperature (thermal
+        // voltage). Never `env.time`.
+        [
+            env.irradiance.value().to_bits(),
+            env.illuminance.value().to_bits(),
+            env.ambient.value().to_bits(),
+            0,
+        ]
     }
 }
 
@@ -294,5 +357,66 @@ mod tests {
     #[should_panic(expected = "Isc must be positive")]
     fn rejects_bad_parameters() {
         PvModule::new("bad", Amps::ZERO, Volts::new(1.0), 1, 1.0, 1.0);
+    }
+
+    #[test]
+    fn repeated_conditions_hit_the_cache_bit_identically() {
+        let pv = PvModule::outdoor_panel_half_watt();
+        let env = stc();
+        let voc1 = pv.open_circuit_voltage(&env);
+        let mpp1 = pv.mpp(&env);
+        let voc2 = pv.open_circuit_voltage(&env);
+        let mpp2 = pv.mpp(&env);
+        assert_eq!(voc1.value().to_bits(), voc2.value().to_bits());
+        assert_eq!(
+            mpp1.voltage.value().to_bits(),
+            mpp2.voltage.value().to_bits()
+        );
+        assert_eq!(
+            mpp1.current.value().to_bits(),
+            mpp2.current.value().to_bits()
+        );
+        let stats = pv.cache.stats();
+        assert!(stats.hits >= 2, "{stats:?}");
+        // `env.time` is not part of the key: advancing the clock under
+        // identical ambients still hits (the slot is single-entry, so
+        // this runs before any key change evicts it).
+        let mut later = env;
+        later.time = Seconds::from_hours(3.0);
+        let hits_before = pv.cache.stats().hits;
+        let voc4 = pv.open_circuit_voltage(&later);
+        assert_eq!(voc1.value().to_bits(), voc4.value().to_bits());
+        assert!(pv.cache.stats().hits > hits_before);
+        // A changed condition misses and re-solves.
+        let mut warmer = env;
+        warmer.ambient = Celsius::new(26.0);
+        let voc3 = pv.open_circuit_voltage(&warmer);
+        assert_ne!(voc1.value().to_bits(), voc3.value().to_bits());
+    }
+
+    #[test]
+    fn newton_voc_matches_the_root_to_high_precision() {
+        // The solved Voc must be an actual root of the unclamped diode
+        // equation, at every light level and temperature regime.
+        for (g, t) in [
+            (1000.0, 25.0),
+            (500.0, 0.0),
+            (100.0, 60.0),
+            (10.0, 25.0),
+            (1.0, -10.0),
+        ] {
+            let pv = PvModule::outdoor_panel_half_watt();
+            let mut env = stc();
+            env.irradiance = WattsPerSqM::new(g);
+            env.ambient = Celsius::new(t);
+            let voc = pv.open_circuit_voltage(&env).value();
+            let vt = pv.vt_stack(&env);
+            let iph = pv.photocurrent(env.effective_irradiance());
+            let f = iph - pv.i0 * ((voc / vt).exp() - 1.0) - voc / pv.r_shunt;
+            assert!(
+                f.abs() < 1e-9 * iph.max(1e-6),
+                "residual {f} at G={g}, T={t}"
+            );
+        }
     }
 }

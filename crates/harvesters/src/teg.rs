@@ -1,5 +1,6 @@
 //! Thermoelectric generator: Seebeck voltage behind an internal resistance.
 
+use crate::cache::SolveCache;
 use crate::kind::HarvesterKind;
 use crate::thevenin::Thevenin;
 use crate::transducer::Transducer;
@@ -35,6 +36,8 @@ pub struct Teg {
     r_int: Ohms,
     /// Fraction of the ambient gradient appearing across the junctions.
     thermal_coupling: f64,
+    /// Operating-point solve cache (equality- and clone-transparent).
+    cache: SolveCache,
 }
 
 impl Teg {
@@ -56,6 +59,7 @@ impl Teg {
             seebeck,
             r_int,
             thermal_coupling,
+            cache: SolveCache::new(),
         }
     }
 
@@ -99,6 +103,20 @@ impl Transducer for Teg {
 
     fn open_circuit_voltage(&self, env: &EnvConditions) -> Volts {
         self.source(env).voc
+    }
+
+    fn solve_cache(&self) -> Option<&SolveCache> {
+        Some(&self.cache)
+    }
+
+    fn env_signature(&self, env: &EnvConditions) -> [u64; 4] {
+        // The gradient is hot_surface − ambient; both enter the key.
+        [
+            env.hot_surface.value().to_bits(),
+            env.ambient.value().to_bits(),
+            0,
+            0,
+        ]
     }
 }
 

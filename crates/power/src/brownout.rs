@@ -138,6 +138,13 @@ impl PowerStage for BrownoutConverter {
             .filter(|&&(_, end)| end <= self.age)
             .count() as u64
     }
+
+    fn is_time_invariant(&self) -> bool {
+        // The transfer function flips with operating time as windows fire
+        // and clear, so memoised channel results must never replay across
+        // an `advance`.
+        false
+    }
 }
 
 #[cfg(test)]

@@ -174,24 +174,11 @@ impl PowerStage for DcDcConverter {
         if !self.accepts_input_voltage(v_in) || p_in.value() <= 0.0 {
             return Watts::ZERO;
         }
-        // Solve p_out = η(p_out)·p_in by bisection on
-        // f(p) = p − η(p)·p_in over [0, min(p_in, rated)]; f(0) < 0 and
-        // f at the ceiling ≥ 0, so a sign change is bracketed.
-        let hi_cap = p_in.min(self.rated);
-        let f = |p: Watts| p - p_in * self.eta.at_power(p, self.rated).value();
-        if f(hi_cap).value() <= 0.0 {
-            return hi_cap.min(self.rated);
-        }
-        let (mut lo, mut hi) = (Watts::ZERO, hi_cap);
-        for _ in 0..80 {
-            let mid = (lo + hi) / 2.0;
-            if f(mid).value() < 0.0 {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        (lo + hi) / 2.0
+        // p_out = η(p_out)·p_in is piecewise linear in p_out, so the
+        // curve solves it in closed form (one segment walk, no
+        // iteration).
+        self.eta
+            .solve_output(p_in, self.rated, p_in.min(self.rated))
     }
 
     fn input_for_output(&self, p_out: Watts, v_in: Volts) -> Watts {

@@ -103,6 +103,60 @@ impl EfficiencyCurve {
         }
         self.at_load_fraction(p_out.value() / rated.value())
     }
+
+    /// Solves the converter fixed point `p = η(p)·p_in` for the smallest
+    /// non-negative root, capped at `cap`.
+    ///
+    /// Because the curve is piecewise linear, `f(p) = p − η(p)·p_in` is
+    /// piecewise linear too: the root is found exactly by walking the
+    /// knot segments until `f` changes sign and solving that segment's
+    /// linear equation in closed form — no iteration. `f(0) < 0` always
+    /// (η > 0), so if `f(cap) ≤ 0` the output saturates at `cap`.
+    pub fn solve_output(&self, p_in: Watts, rated: Watts, cap: Watts) -> Watts {
+        let pin = p_in.value();
+        let r = rated.value();
+        let cap = cap.value();
+        if pin <= 0.0 || r <= 0.0 || cap <= 0.0 {
+            return Watts::ZERO;
+        }
+        // Saturation check (the old bisection's early-out): at the cap
+        // the balance is still negative, so the cap is the answer.
+        if cap - pin * self.at_load_fraction(cap / r).value() <= 0.0 {
+            return Watts::new(cap);
+        }
+        // Constant-efficiency region below the first knot.
+        let (l0, e0) = self.knots[0];
+        let first_end = (l0 * r).min(cap);
+        if first_end - pin * e0 >= 0.0 {
+            return Watts::new((pin * e0).clamp(0.0, first_end));
+        }
+        let mut lower = first_end;
+        for pair in self.knots.windows(2) {
+            let (la, ea) = pair[0];
+            let (lb, eb) = pair[1];
+            let seg_end = (lb * r).min(cap);
+            if seg_end <= lower {
+                continue;
+            }
+            let slope = (eb - ea) / ((lb - la) * r);
+            let eta_end = ea + slope * (seg_end - la * r);
+            if seg_end - pin * eta_end >= 0.0 {
+                // Sign change inside [lower, seg_end]: the linear balance
+                // p·(1 − pin·slope) = pin·(ea − slope·la·r) has exactly
+                // one root here, and the bracketing sign change
+                // guarantees the coefficient is positive.
+                let root = pin * (ea - slope * la * r) / (1.0 - pin * slope);
+                return Watts::new(root.clamp(lower, seg_end));
+            }
+            lower = seg_end;
+            if lower >= cap {
+                break;
+            }
+        }
+        // Constant-efficiency region above the last knot.
+        let e_last = self.knots.last().expect("non-empty").1;
+        Watts::new((pin * e_last).clamp(lower, cap))
+    }
 }
 
 #[cfg(test)]

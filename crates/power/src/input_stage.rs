@@ -5,7 +5,7 @@
 use crate::mppt::OperatingPointController;
 use crate::stage::PowerStage;
 use mseh_env::EnvConditions;
-use mseh_harvesters::Transducer;
+use mseh_harvesters::{CacheStats, Transducer};
 use mseh_units::{Seconds, Volts, Watts};
 
 /// The outcome of one input-channel step.
@@ -65,6 +65,22 @@ pub struct InputChannel {
     controller: Box<dyn OperatingPointController>,
     protection: Box<dyn PowerStage>,
     converter: Box<dyn PowerStage>,
+    /// Memoised result of the last fully-solved replayable step, keyed on
+    /// the exact ambient bit pattern and the step width.
+    memo: Option<ChannelMemo>,
+    cache_enabled: bool,
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_invalidations: u64,
+}
+
+/// One memoised channel step. Replaying it is sound only when the
+/// controller's choice is a pure function of `(env, dt)` and every block
+/// in the chain is time-invariant — `step` checks both before looking.
+#[derive(Debug, Clone, Copy)]
+struct ChannelMemo {
+    key: ([u64; 9], u64),
+    step: HarvestStep,
 }
 
 impl InputChannel {
@@ -80,6 +96,11 @@ impl InputChannel {
             controller,
             protection,
             converter,
+            memo: None,
+            cache_enabled: true,
+            memo_hits: 0,
+            memo_misses: 0,
+            memo_invalidations: 0,
         }
     }
 
@@ -94,8 +115,63 @@ impl InputChannel {
     }
 
     /// Replaces the harvester (a hardware swap), returning the old one.
+    /// Flushes every solve memo: results solved for the old device must
+    /// not answer for the new one.
     pub fn swap_harvester(&mut self, new: Box<dyn Transducer>) -> Box<dyn Transducer> {
-        core::mem::replace(&mut self.harvester, new)
+        let old = core::mem::replace(&mut self.harvester, new);
+        self.invalidate_solve_memos();
+        old
+    }
+
+    /// Drops the channel memo and the harvester's operating-point cache
+    /// (hot-swap, instrumentation wrap, fault fire/clear).
+    pub fn invalidate_solve_memos(&mut self) {
+        if self.memo.take().is_some() {
+            self.memo_invalidations += 1;
+        }
+        if let Some(cache) = self.harvester.solve_cache() {
+            cache.invalidate();
+        }
+        // Propagate the enabled switch to whatever is now in the slot so a
+        // disabled channel stays fully disabled across swaps.
+        if let Some(cache) = self.harvester.solve_cache() {
+            cache.set_enabled(self.cache_enabled);
+        }
+    }
+
+    /// Enables or disables both layers of the channel's kernel cache
+    /// (the step memo and the harvester's solve cache). Disabling drops
+    /// any stored entries so a later re-enable starts cold.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        self.memo = None;
+        if let Some(cache) = self.harvester.solve_cache() {
+            cache.set_enabled(enabled);
+        }
+    }
+
+    /// Whether the channel's kernel cache is serving memoized results.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Counters for the channel step memo alone (no harvester cache).
+    pub fn memo_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.memo_hits,
+            misses: self.memo_misses,
+            invalidations: self.memo_invalidations,
+        }
+    }
+
+    /// Combined kernel-cache counters: the channel step memo plus the
+    /// harvester's operating-point solve cache.
+    pub fn kernel_cache_stats(&self) -> CacheStats {
+        let mut stats = self.memo_stats();
+        if let Some(cache) = self.harvester.solve_cache() {
+            stats.merge(cache.stats());
+        }
+        stats
     }
 
     /// Rebuilds the harvester in place through `wrap` — simulation
@@ -124,6 +200,7 @@ impl InputChannel {
         }
         let old = core::mem::replace(&mut self.harvester, Box::new(Placeholder));
         self.harvester = wrap(old);
+        self.invalidate_solve_memos();
     }
 
     /// Rebuilds the front-end converter in place through `wrap` (e.g.
@@ -155,6 +232,7 @@ impl InputChannel {
         }
         let old = core::mem::replace(&mut self.converter, Box::new(Placeholder));
         self.converter = wrap(old);
+        self.invalidate_solve_memos();
     }
 
     /// Cumulative `(fired, cleared)` fault counts across the channel's
@@ -179,11 +257,45 @@ impl InputChannel {
     }
 
     /// Runs the channel for `dt` under `env`.
+    ///
+    /// When every block in the chain is provably quasi-static for this
+    /// step — the controller's choice is a pure function of `(env, dt)`
+    /// and harvester, protection and converter are time-invariant — the
+    /// result is memoised on the exact ambient bit pattern, and a repeat
+    /// of the same conditions replays the stored step verbatim
+    /// (bit-identical by construction) instead of re-solving.
     pub fn step(&mut self, env: &EnvConditions, dt: Seconds) -> HarvestStep {
         // Stages with internal clocks (scheduled-brownout wrappers) age
         // by operating time.
         self.protection.advance(dt);
         self.converter.advance(dt);
+        if self.cache_enabled
+            && self.controller.is_env_pure(dt)
+            && self.harvester.is_time_invariant()
+            && self.protection.is_time_invariant()
+            && self.converter.is_time_invariant()
+        {
+            let key = (env.ambient_bits(), dt.value().to_bits());
+            if let Some(memo) = self.memo {
+                if memo.key == key {
+                    self.memo_hits += 1;
+                    // The controller still has to land in the same state a
+                    // real choose_voltage would have left it in.
+                    self.controller
+                        .reuse_voltage(memo.step.operating_voltage, dt);
+                    return memo.step;
+                }
+            }
+            self.memo_misses += 1;
+            let step = self.solve_step(env, dt);
+            self.memo = Some(ChannelMemo { key, step });
+            return step;
+        }
+        self.solve_step(env, dt)
+    }
+
+    /// The full per-step solve (no memo consulted).
+    fn solve_step(&mut self, env: &EnvConditions, dt: Seconds) -> HarvestStep {
         let v_op = self
             .controller
             .choose_voltage(self.harvester.as_ref(), env, dt);
@@ -299,5 +411,120 @@ mod tests {
         let s = format!("{ch:?}");
         assert!(s.contains("polycrystalline"));
         assert!(s.contains("perturb-and-observe"));
+    }
+
+    #[test]
+    fn repeated_conditions_replay_the_memo_bit_identically() {
+        let mut ch = pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        let env = sunny();
+        let dt = Seconds::new(1.0);
+        let first = ch.step(&env, dt);
+        let second = ch.step(&env, dt);
+        assert_eq!(
+            first.extracted.value().to_bits(),
+            second.extracted.value().to_bits()
+        );
+        assert_eq!(
+            first.delivered.value().to_bits(),
+            second.delivered.value().to_bits()
+        );
+        assert_eq!(
+            first.overhead.value().to_bits(),
+            second.overhead.value().to_bits()
+        );
+        let stats = ch.kernel_cache_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn hidden_state_controllers_never_replay() {
+        // P&O dithers around the MPP — its choice is history, not
+        // environment, so the memo must stay out of the loop.
+        let mut ch = pv_channel(Box::new(PerturbObserve::new()));
+        let env = sunny();
+        let mut last = Volts::ZERO;
+        let mut moved = false;
+        for _ in 0..10 {
+            let step = ch.step(&env, Seconds::new(1.0));
+            if step.operating_voltage != last {
+                moved = last.value() > 0.0 || moved;
+            }
+            last = step.operating_voltage;
+        }
+        assert!(moved, "P&O should keep perturbing under constant sun");
+        // The step memo never engages (the harvester's own pure-solve
+        // cache may still hit — that layer is history-free).
+        let memo = ch.memo_stats();
+        assert_eq!((memo.hits, memo.misses), (0, 0));
+    }
+
+    #[test]
+    fn focv_channel_with_memo_matches_uncached_run_bitwise() {
+        use crate::mppt::FractionalVoc;
+        let build = || {
+            InputChannel::new(
+                Box::new(PvModule::outdoor_panel_half_watt()),
+                Box::new(FractionalVoc::pv_standard()),
+                Box::new(IdealDiode::nanopower()),
+                Box::new(DcDcConverter::mppt_front_end_5v()),
+            )
+        };
+        let mut cached = build();
+        let mut cold = build();
+        cold.set_cache_enabled(false);
+        // Constant-sun spans with a condition change in the middle; the
+        // 60 s step exceeds the 30 s FOCV interval, so every step samples.
+        let dt = Seconds::new(60.0);
+        let mut irradiances = vec![800.0; 10];
+        irradiances.extend([500.0; 10]);
+        irradiances.extend([800.0; 5]);
+        for (i, g) in irradiances.into_iter().enumerate() {
+            let mut env = EnvConditions::quiescent(Seconds::new(60.0 * i as f64));
+            env.irradiance = WattsPerSqM::new(g);
+            let a = cached.step(&env, dt);
+            let b = cold.step(&env, dt);
+            assert_eq!(
+                a.operating_voltage.value().to_bits(),
+                b.operating_voltage.value().to_bits(),
+                "step {i}"
+            );
+            assert_eq!(
+                a.delivered.value().to_bits(),
+                b.delivered.value().to_bits(),
+                "step {i}"
+            );
+        }
+        let stats = cached.kernel_cache_stats();
+        assert!(stats.hits >= 20, "{stats:?}");
+        assert_eq!(cold.kernel_cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn swap_and_wrap_flush_the_memo() {
+        let mut ch = pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        let env = sunny();
+        ch.step(&env, Seconds::new(1.0));
+        ch.step(&env, Seconds::new(1.0));
+        assert!(ch.kernel_cache_stats().hits >= 1);
+        let before = ch.kernel_cache_stats().invalidations;
+        ch.swap_harvester(Box::new(PvModule::outdoor_panel_half_watt()));
+        assert!(ch.kernel_cache_stats().invalidations > before);
+        // The post-swap step must be a fresh solve, not a replay.
+        let hits_before = ch.kernel_cache_stats().hits;
+        ch.step(&env, Seconds::new(1.0));
+        assert_eq!(ch.kernel_cache_stats().hits, hits_before);
+    }
+
+    #[test]
+    fn disabled_cache_never_replays() {
+        let mut ch = pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        ch.set_cache_enabled(false);
+        assert!(!ch.cache_enabled());
+        let env = sunny();
+        let a = ch.step(&env, Seconds::new(1.0));
+        let b = ch.step(&env, Seconds::new(1.0));
+        assert_eq!(a, b);
+        let stats = ch.kernel_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
     }
 }

@@ -64,6 +64,24 @@ pub trait OperatingPointController: Send + Sync {
     fn sampling_loss_fraction(&self) -> f64 {
         0.0
     }
+
+    /// Whether a `choose_voltage(source, env, dt)` call *right now* would
+    /// be a pure function of `(env, dt)` — same voltage out, same
+    /// controller state after — so the channel memo may replay a stored
+    /// result instead of calling it. Controllers with hidden dither state
+    /// (P&O) answer `false` unconditionally; FOCV answers `true` exactly
+    /// when the call would land on a fresh resample. Defaults to `false`
+    /// (never replayable), which is always safe.
+    fn is_env_pure(&self, _dt: Seconds) -> bool {
+        false
+    }
+
+    /// Restores the exact post-`choose_voltage` state for a replayed
+    /// call that held `held` for `dt` — the state-side half of the memo
+    /// contract above. Only invoked after [`is_env_pure`](Self::is_env_pure)
+    /// returned `true` for the same `dt`. Default: stateless, nothing to
+    /// restore.
+    fn reuse_voltage(&mut self, _held: Volts, _dt: Seconds) {}
 }
 
 /// Digital perturb-and-observe tracker.
@@ -258,6 +276,22 @@ impl OperatingPointController for FractionalVoc {
         }
         self.held
     }
+
+    fn is_env_pure(&self, dt: Seconds) -> bool {
+        // Pure exactly when the next call is guaranteed to resample: in
+        // the post-first-call steady state (`since_sample == 0`) with a
+        // step at least as long as the interval, every call re-reads Voc
+        // and lands back at `since_sample == 0` — output and post-state
+        // are functions of `(env, dt)` alone. A mid-interval call returns
+        // the stale `held`, which is history, not environment.
+        self.since_sample == Seconds::ZERO && self.since_sample + dt >= self.sample_interval
+    }
+
+    fn reuse_voltage(&mut self, held: Volts, _dt: Seconds) {
+        // Reproduce the exact state a resampling call leaves behind.
+        self.since_sample = Seconds::ZERO;
+        self.held = held;
+    }
 }
 
 /// A fixed operating voltage: zero tracking overhead, zero adaptivity —
@@ -303,6 +337,11 @@ impl OperatingPointController for FixedPoint {
         _dt: Seconds,
     ) -> Volts {
         self.v
+    }
+
+    fn is_env_pure(&self, _dt: Seconds) -> bool {
+        // Stateless and constant: trivially replayable.
+        true
     }
 }
 
@@ -427,5 +466,48 @@ mod tests {
     #[should_panic(expected = "step fraction")]
     fn rejects_bad_step() {
         PerturbObserve::with_step(0.9, Watts::ZERO);
+    }
+
+    #[test]
+    fn env_purity_contract_per_controller() {
+        let dt = Seconds::new(60.0);
+        // Fixed point: always pure.
+        assert!(FixedPoint::new(Volts::new(2.0)).is_env_pure(dt));
+        // P&O: never pure (hidden dither state).
+        assert!(!PerturbObserve::new().is_env_pure(dt));
+        // FOCV: impure before the first call (since_sample = ∞) …
+        let pv = PvModule::outdoor_panel_half_watt();
+        let mut focv = FractionalVoc::pv_standard();
+        assert!(!focv.is_env_pure(dt));
+        // … pure in the steady state where every step resamples …
+        focv.choose_voltage(&pv, &sunny(), dt);
+        assert!(focv.is_env_pure(dt));
+        // … and impure for steps shorter than the sample interval.
+        assert!(!focv.is_env_pure(Seconds::new(1.0)));
+    }
+
+    #[test]
+    fn focv_reuse_voltage_reproduces_the_post_call_state() {
+        let pv = PvModule::outdoor_panel_half_watt();
+        let env = sunny();
+        let dt = Seconds::new(60.0);
+        let mut live = FractionalVoc::pv_standard();
+        let v1 = live.choose_voltage(&pv, &env, dt);
+        let v2 = live.choose_voltage(&pv, &env, dt);
+        assert_eq!(v1, v2);
+
+        // A replayed controller must behave identically afterwards —
+        // including on a subsequent *fractional* step that returns the
+        // stale held value.
+        let mut replayed = FractionalVoc::pv_standard();
+        replayed.choose_voltage(&pv, &env, dt);
+        replayed.reuse_voltage(v2, dt);
+        let frac = Seconds::new(1.0);
+        let mut dim = env;
+        dim.irradiance = WattsPerSqM::new(50.0);
+        let from_live = live.choose_voltage(&pv, &dim, frac);
+        let from_replayed = replayed.choose_voltage(&pv, &dim, frac);
+        assert_eq!(from_live, from_replayed);
+        assert_eq!(from_live, v2, "fractional step must return the held value");
     }
 }

@@ -54,6 +54,15 @@ pub trait PowerStage: Send + Sync {
     fn fault_clear_count(&self) -> u64 {
         0
     }
+
+    /// Whether the stage's transfer behaviour is independent of its
+    /// internal clock — i.e. `output_for_input`/`input_for_output` give
+    /// the same answer before and after any `advance`. Scheduled-fault
+    /// wrappers (brownouts) override this to `false`; the channel-level
+    /// solve memo refuses to replay results through a time-varying stage.
+    fn is_time_invariant(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

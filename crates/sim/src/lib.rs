@@ -82,14 +82,20 @@ pub use ensemble::{
 pub use fault::{
     DegradingHarvester, FailingStorage, FaultSchedule, GlitchingHarvester, IntermittentStorage,
 };
-pub use metrics::{HistogramSnapshot, MetricsRegistry, DEFAULT_BUCKETS};
+pub use metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry,
+    DEFAULT_BUCKETS,
+};
 pub use observe::{
     AuditReport, ConservationAuditor, EventSink, MetricsObserver, RingRecorder, SimEvent,
-    SimObserver, SinkFormat,
+    SimObserver, SinkFormat, StepEnergies, Tandem,
 };
 pub use parallel::{par_map, par_map_instrumented, par_map_with, thread_count};
 pub use platform::Platform;
-pub use runner::{run_simulation, run_simulation_observed, SimConfig, SimResult, SimTraces};
+pub use runner::{
+    publish_kernel_cache_stats, run_simulation, run_simulation_observed, SimConfig, SimResult,
+    SimTraces,
+};
 pub use sweep::{
     crossover, day_grid, first_meeting, geometric_grid, par_sweep, par_sweep_with_threads, sweep,
     SweepPoint,

@@ -96,9 +96,17 @@ impl HistogramSnapshot {
     }
 
     fn observe(&mut self, v: f64) {
-        match self.bounds.iter().position(|&b| v <= b) {
-            Some(i) => self.counts[i] += 1,
-            None => self.overflow += 1,
+        // Binary search instead of a linear scan: bounds are ascending,
+        // and `partition_point(b < v)` lands on the first bucket whose
+        // (inclusive) upper bound admits `v`. NaN compares false against
+        // the last bound and falls into the overflow, matching the old
+        // linear scan.
+        match self.bounds.last() {
+            Some(&last) if v <= last => {
+                let i = self.bounds.partition_point(|&b| b < v);
+                self.counts[i] += 1;
+            }
+            _ => self.overflow += 1,
         }
         self.count += 1;
         self.sum += v;
@@ -116,28 +124,54 @@ impl HistogramSnapshot {
     }
 }
 
-/// One metric series.
-#[derive(Debug, Clone, PartialEq)]
-enum Series {
-    Counter(f64),
-    Gauge(f64),
-    Histogram(HistogramSnapshot),
+/// A typed slot reference: which arena a series lives in, and where.
+/// Storage is split per type so the handle paths are plain indexed f64
+/// operations with no discriminant to re-check on every update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotRef {
+    Counter(usize),
+    Gauge(usize),
+    Histogram(usize),
 }
 
-impl Series {
-    fn type_name(&self) -> &'static str {
+impl SlotRef {
+    fn type_name(self) -> &'static str {
         match self {
-            Series::Counter(_) => "counter",
-            Series::Gauge(_) => "gauge",
-            Series::Histogram(_) => "histogram",
+            SlotRef::Counter(_) => "counter",
+            SlotRef::Gauge(_) => "gauge",
+            SlotRef::Histogram(_) => "histogram",
         }
     }
 }
 
+/// A pre-resolved handle to a counter series — one name/label resolution
+/// at registration, O(1) array indexing on every update. Handles stay
+/// valid for the life of the registry they came from (series are never
+/// removed) but must not be used against a different registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// A pre-resolved handle to a gauge series; see [`CounterHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeHandle(usize);
+
+/// A pre-resolved handle to a histogram series; see [`CounterHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
 /// A registry of labeled metric series. See the [module docs](self).
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Series live in a flat slot vector; the [`BTreeMap`] only maps keys to
+/// slot indices. Name-based methods pay one map lookup per call; the
+/// handle methods ([`handle_counter`](Self::handle_counter) and friends)
+/// resolve the key once and index directly thereafter — the hot-path
+/// interface for per-step observers.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    series: BTreeMap<SeriesKey, Series>,
+    index: BTreeMap<SeriesKey, SlotRef>,
+    counters: Vec<f64>,
+    gauges: Vec<f64>,
+    histograms: Vec<HistogramSnapshot>,
 }
 
 impl MetricsRegistry {
@@ -148,12 +182,104 @@ impl MetricsRegistry {
 
     /// Number of distinct series.
     pub fn len(&self) -> usize {
-        self.series.len()
+        self.index.len()
     }
 
     /// Whether the registry holds no series.
     pub fn is_empty(&self) -> bool {
-        self.series.is_empty()
+        self.index.is_empty()
+    }
+
+    /// Resolves (creating if absent) the slot for `name`/`labels`.
+    fn slot(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce(&mut Self) -> SlotRef,
+    ) -> SlotRef {
+        if let Some(&slot) = self.index.get(&SeriesKey::new(name, labels)) {
+            return slot;
+        }
+        let slot = make(self);
+        self.index.insert(SeriesKey::new(name, labels), slot);
+        slot
+    }
+
+    fn new_counter(&mut self) -> SlotRef {
+        self.counters.push(0.0);
+        SlotRef::Counter(self.counters.len() - 1)
+    }
+
+    fn new_gauge(&mut self) -> SlotRef {
+        self.gauges.push(0.0);
+        SlotRef::Gauge(self.gauges.len() - 1)
+    }
+
+    /// Pre-resolves a counter series (creating it at zero if absent) and
+    /// returns its O(1) handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn handle_counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        match self.slot(name, labels, Self::new_counter) {
+            SlotRef::Counter(i) => CounterHandle(i),
+            other => panic!("metric {name} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Pre-resolves a gauge series (creating it at zero if absent) and
+    /// returns its O(1) handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn handle_gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
+        match self.slot(name, labels, Self::new_gauge) {
+            SlotRef::Gauge(i) => GaugeHandle(i),
+            other => panic!("metric {name} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Pre-resolves a histogram series (creating it with
+    /// [`DEFAULT_BUCKETS`] if absent) and returns its O(1) handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn handle_histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        let slot = self.slot(name, labels, |me| {
+            me.histograms
+                .push(HistogramSnapshot::new(DEFAULT_BUCKETS.to_vec()));
+            SlotRef::Histogram(me.histograms.len() - 1)
+        });
+        match slot {
+            SlotRef::Histogram(i) => HistogramHandle(i),
+            other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    /// Adds `v` to the counter behind `h` without any name resolution —
+    /// a single indexed f64 add. Monotonicity (`v >= 0`) is checked in
+    /// debug builds; handles are type-checked at creation, so the slot
+    /// is always a counter.
+    #[inline]
+    pub fn counter_add_handle(&mut self, h: CounterHandle, v: f64) {
+        debug_assert!(v >= 0.0, "counter increment must be >= 0, got {v}");
+        self.counters[h.0] += v;
+    }
+
+    /// Sets the gauge behind `h` without any name resolution.
+    #[inline]
+    pub fn gauge_set_handle(&mut self, h: GaugeHandle, v: f64) {
+        self.gauges[h.0] = v;
+    }
+
+    /// Records `v` into the histogram behind `h` without any name
+    /// resolution.
+    #[inline]
+    pub fn histogram_observe_handle(&mut self, h: HistogramHandle, v: f64) {
+        self.histograms[h.0].observe(v);
     }
 
     /// Adds `v` to a counter, creating it at zero first if absent.
@@ -164,12 +290,8 @@ impl MetricsRegistry {
     /// exists with a different type.
     pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
         assert!(v >= 0.0, "counter {name} increment must be >= 0, got {v}");
-        match self
-            .series
-            .entry(SeriesKey::new(name, labels))
-            .or_insert(Series::Counter(0.0))
-        {
-            Series::Counter(c) => *c += v,
+        match self.slot(name, labels, Self::new_counter) {
+            SlotRef::Counter(i) => self.counters[i] += v,
             other => panic!("metric {name} is a {}, not a counter", other.type_name()),
         }
     }
@@ -180,12 +302,8 @@ impl MetricsRegistry {
     ///
     /// Panics if the series exists with a different type.
     pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
-        match self
-            .series
-            .entry(SeriesKey::new(name, labels))
-            .or_insert(Series::Gauge(0.0))
-        {
-            Series::Gauge(g) => *g = v,
+        match self.slot(name, labels, Self::new_gauge) {
+            SlotRef::Gauge(i) => self.gauges[i] = v,
             other => panic!("metric {name} is a {}, not a gauge", other.type_name()),
         }
     }
@@ -214,41 +332,40 @@ impl MetricsRegistry {
         v: f64,
         bounds: &[f64],
     ) {
-        match self
-            .series
-            .entry(SeriesKey::new(name, labels))
-            .or_insert_with(|| {
-                assert!(
-                    bounds.windows(2).all(|w| w[0] < w[1]),
-                    "histogram {name} bounds must be strictly ascending"
-                );
-                Series::Histogram(HistogramSnapshot::new(bounds.to_vec()))
-            }) {
-            Series::Histogram(h) => h.observe(v),
+        let slot = self.slot(name, labels, |me| {
+            assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "histogram {name} bounds must be strictly ascending"
+            );
+            me.histograms.push(HistogramSnapshot::new(bounds.to_vec()));
+            SlotRef::Histogram(me.histograms.len() - 1)
+        });
+        match slot {
+            SlotRef::Histogram(i) => self.histograms[i].observe(v),
             other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
         }
     }
 
     /// Reads a counter's value.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        match self.series.get(&SeriesKey::new(name, labels)) {
-            Some(Series::Counter(c)) => Some(*c),
+        match self.index.get(&SeriesKey::new(name, labels)) {
+            Some(&SlotRef::Counter(i)) => Some(self.counters[i]),
             _ => None,
         }
     }
 
     /// Reads a gauge's value.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        match self.series.get(&SeriesKey::new(name, labels)) {
-            Some(Series::Gauge(g)) => Some(*g),
+        match self.index.get(&SeriesKey::new(name, labels)) {
+            Some(&SlotRef::Gauge(i)) => Some(self.gauges[i]),
             _ => None,
         }
     }
 
     /// Reads a histogram's snapshot.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
-        match self.series.get(&SeriesKey::new(name, labels)) {
-            Some(Series::Histogram(h)) => Some(h),
+        match self.index.get(&SeriesKey::new(name, labels)) {
+            Some(&SlotRef::Histogram(i)) => Some(&self.histograms[i]),
             _ => None,
         }
     }
@@ -262,38 +379,57 @@ impl MetricsRegistry {
     /// Panics if a series exists in both registries with mismatched
     /// types or histogram bounds.
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for (key, theirs) in &other.series {
-            match self.series.entry(key.clone()) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(theirs.clone());
-                }
-                std::collections::btree_map::Entry::Occupied(mut e) => {
-                    match (e.get_mut(), theirs) {
-                        (Series::Counter(a), Series::Counter(b)) => *a += b,
-                        (Series::Gauge(a), Series::Gauge(b)) => *a = *b,
-                        (Series::Histogram(a), Series::Histogram(b)) => {
-                            assert_eq!(
-                                a.bounds, b.bounds,
-                                "merging histogram {} with mismatched buckets",
-                                key.name
-                            );
-                            for (c, d) in a.counts.iter_mut().zip(&b.counts) {
-                                *c += d;
-                            }
-                            a.overflow += b.overflow;
-                            a.count += b.count;
-                            a.sum += b.sum;
-                            a.min = a.min.min(b.min);
-                            a.max = a.max.max(b.max);
+        for (key, &theirs) in &other.index {
+            let mine = match self.index.get(key) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = match theirs {
+                        SlotRef::Counter(j) => {
+                            self.counters.push(other.counters[j]);
+                            SlotRef::Counter(self.counters.len() - 1)
                         }
-                        (mine, theirs) => panic!(
-                            "merging metric {} as {} into {}",
-                            key.name,
-                            theirs.type_name(),
-                            mine.type_name()
-                        ),
-                    }
+                        SlotRef::Gauge(j) => {
+                            self.gauges.push(other.gauges[j]);
+                            SlotRef::Gauge(self.gauges.len() - 1)
+                        }
+                        SlotRef::Histogram(j) => {
+                            self.histograms.push(other.histograms[j].clone());
+                            SlotRef::Histogram(self.histograms.len() - 1)
+                        }
+                    };
+                    self.index.insert(key.clone(), slot);
+                    continue;
                 }
+            };
+            match (mine, theirs) {
+                (SlotRef::Counter(i), SlotRef::Counter(j)) => {
+                    self.counters[i] += other.counters[j];
+                }
+                (SlotRef::Gauge(i), SlotRef::Gauge(j)) => {
+                    self.gauges[i] = other.gauges[j];
+                }
+                (SlotRef::Histogram(i), SlotRef::Histogram(j)) => {
+                    let (a, b) = (&mut self.histograms[i], &other.histograms[j]);
+                    assert_eq!(
+                        a.bounds, b.bounds,
+                        "merging histogram {} with mismatched buckets",
+                        key.name
+                    );
+                    for (c, d) in a.counts.iter_mut().zip(&b.counts) {
+                        *c += d;
+                    }
+                    a.overflow += b.overflow;
+                    a.count += b.count;
+                    a.sum += b.sum;
+                    a.min = a.min.min(b.min);
+                    a.max = a.max.max(b.max);
+                }
+                (mine, theirs) => panic!(
+                    "merging metric {} as {} into {}",
+                    key.name,
+                    theirs.type_name(),
+                    mine.type_name()
+                ),
             }
         }
     }
@@ -308,9 +444,9 @@ impl MetricsRegistry {
     /// ]}
     /// ```
     pub fn snapshot_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.series.len() * 96);
+        let mut out = String::with_capacity(64 + self.index.len() * 96);
         out.push_str("{\"metrics\":[");
-        for (i, (key, series)) in self.series.iter().enumerate() {
+        for (i, (key, &slot)) in self.index.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -326,13 +462,18 @@ impl MetricsRegistry {
                 push_json_str(&mut out, v);
             }
             out.push_str("},\"type\":\"");
-            out.push_str(series.type_name());
+            out.push_str(slot.type_name());
             out.push('"');
-            match series {
-                Series::Counter(v) | Series::Gauge(v) => {
-                    let _ = write!(out, ",\"value\":{}", json_num(*v));
+            match slot {
+                SlotRef::Counter(j) | SlotRef::Gauge(j) => {
+                    let v = match slot {
+                        SlotRef::Counter(_) => self.counters[j],
+                        _ => self.gauges[j],
+                    };
+                    let _ = write!(out, ",\"value\":{}", json_num(v));
                 }
-                Series::Histogram(h) => {
+                SlotRef::Histogram(j) => {
+                    let h = &self.histograms[j];
                     let _ = write!(
                         out,
                         ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
@@ -354,6 +495,35 @@ impl MetricsRegistry {
         }
         out.push_str("]}");
         out
+    }
+}
+
+/// Equality is logical — same keyed series with equal contents — and
+/// independent of slot numbering, so a registry built in a different
+/// insertion order still compares equal (the determinism tests rely on
+/// this, as they did with the old key-to-series map).
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.index.len() == other.index.len()
+            && self
+                .index
+                .iter()
+                .zip(&other.index)
+                .all(|((ka, &sa), (kb, &sb))| {
+                    ka == kb
+                        && match (sa, sb) {
+                            (SlotRef::Counter(i), SlotRef::Counter(j)) => {
+                                self.counters[i] == other.counters[j]
+                            }
+                            (SlotRef::Gauge(i), SlotRef::Gauge(j)) => {
+                                self.gauges[i] == other.gauges[j]
+                            }
+                            (SlotRef::Histogram(i), SlotRef::Histogram(j)) => {
+                                self.histograms[i] == other.histograms[j]
+                            }
+                            _ => false,
+                        }
+                })
     }
 }
 
@@ -511,5 +681,59 @@ mod tests {
         let m = MetricsRegistry::new();
         assert!(m.is_empty());
         assert_eq!(m.snapshot_json(), "{\"metrics\":[]}");
+    }
+
+    #[test]
+    fn handles_address_the_same_series_as_names() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("steps", &[("system", "C")], 2.0);
+        let c = m.handle_counter("steps", &[("system", "C")]);
+        let g = m.handle_gauge("soc", &[]);
+        let h = m.handle_histogram("residual", &[]);
+        m.counter_add_handle(c, 3.0);
+        m.gauge_set_handle(g, 0.7);
+        m.histogram_observe_handle(h, 1e-7);
+        assert_eq!(m.counter("steps", &[("system", "C")]), Some(5.0));
+        assert_eq!(m.gauge("soc", &[]), Some(0.7));
+        assert_eq!(m.histogram("residual", &[]).unwrap().count, 1);
+        // Name-based writes keep flowing into the handled series.
+        m.histogram_observe("residual", &[], 0.5);
+        assert_eq!(m.histogram("residual", &[]).unwrap().count, 2);
+    }
+
+    #[test]
+    fn equality_ignores_slot_numbering() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", &[], 1.0);
+        a.gauge_set("y", &[], 2.0);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set("y", &[], 2.0);
+        b.counter_add("x", &[], 1.0);
+        assert_eq!(a, b);
+        b.counter_add("x", &[], 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn binary_bucketing_matches_linear_semantics() {
+        let mut m = MetricsRegistry::new();
+        // Exactly on a bound (inclusive), just above, well below the
+        // first bound, and NaN (overflow, as before).
+        for v in [1e-6, 1.000_000_1e-6, 1e-12, f64::NAN] {
+            m.histogram_observe("h", &[], v);
+        }
+        let h = m.histogram("h", &[]).unwrap();
+        assert_eq!(h.counts[3], 1); // 1e-6 bound, inclusive
+        assert_eq!(h.counts[4], 1); // next decade up
+        assert_eq!(h.counts[0], 1); // below the first bound
+        assert_eq!(h.overflow, 1); // NaN
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn handle_resolution_checks_types() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", &[], 1.0);
+        m.handle_gauge("x", &[]);
     }
 }

@@ -2,6 +2,7 @@
 
 use mseh_core::{PowerUnit, SmartNetwork, StepReport};
 use mseh_env::EnvConditions;
+use mseh_harvesters::CacheStats;
 use mseh_node::EnergyStatus;
 use mseh_units::{Joules, Seconds, Watts};
 
@@ -47,6 +48,20 @@ pub trait Platform {
     fn stranded_energy(&self) -> Joules {
         Joules::ZERO
     }
+
+    /// Aggregated operating-point kernel-cache counters (channel step
+    /// memos plus harvester solve caches). Platforms without caches
+    /// report all-zero stats.
+    fn kernel_cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+
+    /// Enables or disables the platform's operating-point kernel caches.
+    /// Disabling drops stored entries so every step solves from scratch
+    /// (the uncached reference path). Default: no-op.
+    fn set_kernel_cache_enabled(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
 }
 
 impl Platform for PowerUnit {
@@ -80,6 +95,14 @@ impl Platform for PowerUnit {
 
     fn stranded_energy(&self) -> Joules {
         PowerUnit::stranded_energy(self)
+    }
+
+    fn kernel_cache_stats(&self) -> CacheStats {
+        PowerUnit::kernel_cache_stats(self)
+    }
+
+    fn set_kernel_cache_enabled(&mut self, enabled: bool) {
+        PowerUnit::set_kernel_cache_enabled(self, enabled)
     }
 }
 

@@ -1,7 +1,8 @@
 //! The simulation runner: drives a [`Platform`] + node + policy against an
 //! environment, recording time series and enforcing energy conservation.
 
-use crate::observe::{SimEvent, SimObserver};
+use crate::metrics::MetricsRegistry;
+use crate::observe::{SimEvent, SimObserver, StepEnergies};
 use crate::platform::Platform;
 use mseh_env::{EnvConditions, EnvSampler, Trace};
 use mseh_node::{DutyCyclePolicy, SensorNode};
@@ -159,6 +160,26 @@ pub fn run_simulation(
     run_simulation_observed(platform, env, node, policy, config, &mut [])
 }
 
+/// Copies a platform's operating-point kernel-cache counters into
+/// `metrics` as the `sim_kernel_cache_{hits,misses,invalidations}_total`
+/// counters, plus the `sim_kernel_cache_hit_rate` gauge.
+///
+/// Cache counters are platform state, not run results — they are kept
+/// out of [`SimResult`] (so cached and uncached runs of the same
+/// scenario compare equal) and surfaced here instead: call this after a
+/// run to fold the platform's counters into a registry snapshot.
+pub fn publish_kernel_cache_stats(platform: &dyn Platform, metrics: &mut MetricsRegistry) {
+    let stats = platform.kernel_cache_stats();
+    metrics.counter_add("sim_kernel_cache_hits_total", &[], stats.hits as f64);
+    metrics.counter_add("sim_kernel_cache_misses_total", &[], stats.misses as f64);
+    metrics.counter_add(
+        "sim_kernel_cache_invalidations_total",
+        &[],
+        stats.invalidations as f64,
+    );
+    metrics.gauge_set("sim_kernel_cache_hit_rate", &[], stats.hit_rate());
+}
+
 /// [`run_simulation`] with an attached set of [`SimObserver`]s.
 ///
 /// Every observer receives the full [`SimEvent`] stream: run and
@@ -311,6 +332,12 @@ pub fn run_simulation_observed(
     let window_cap = control_every.min(steps) as usize;
     let mut times: Vec<Seconds> = Vec::with_capacity(window_cap);
     let mut conditions: Vec<EnvConditions> = Vec::with_capacity(window_cap);
+    // One compact record per step accumulates here for the whole window
+    // and goes out in one `on_step_records` call per observer — a
+    // single dynamic dispatch per window, from which each observer
+    // derives exactly the per-step events of one-at-a-time emission.
+    let mut step_records: Vec<StepEnergies> =
+        Vec::with_capacity(if observing { window_cap } else { 0 });
 
     let mut window_start = 0u64;
     while window_start < steps {
@@ -388,48 +415,15 @@ pub fn run_simulation_observed(
             demanded += step_load_energy;
 
             if observing {
-                emit(
-                    observers,
-                    SimEvent::Harvest {
-                        time: t,
-                        energy: report.harvested,
-                    },
-                );
-                emit(
-                    observers,
-                    SimEvent::ConversionLoss {
-                        time: t,
-                        converter: report.converter_loss,
-                        overhead: report.overhead,
-                    },
-                );
-                if report.charged.value() > 0.0 {
-                    emit(
-                        observers,
-                        SimEvent::StoreCharge {
-                            time: t,
-                            energy: report.charged,
-                        },
-                    );
-                }
-                if report.discharged.value() > 0.0 {
-                    emit(
-                        observers,
-                        SimEvent::StoreDischarge {
-                            time: t,
-                            energy: report.discharged,
-                        },
-                    );
-                }
-                if report.shortfall.value() > 0.0 {
-                    emit(
-                        observers,
-                        SimEvent::Shortfall {
-                            time: t,
-                            energy: report.shortfall,
-                        },
-                    );
-                }
+                step_records.push(StepEnergies {
+                    time: t,
+                    harvested: report.harvested,
+                    converter_loss: report.converter_loss,
+                    overhead: report.overhead,
+                    charged: report.charged,
+                    discharged: report.discharged,
+                    shortfall: report.shortfall,
+                });
             }
 
             let served_fraction = if report.shortfall.value() > 0.0 {
@@ -462,6 +456,13 @@ pub fn run_simulation_observed(
         }
 
         if observing {
+            // Flush the window's buffered step records before closing
+            // it, so every observer sees the step events ahead of the
+            // WindowEnd edge, exactly as with per-event emission.
+            for obs in observers.iter_mut() {
+                obs.on_step_records(&step_records);
+            }
+            step_records.clear();
             let t_end = if window_end == steps {
                 config.start_at + config.duration
             } else {

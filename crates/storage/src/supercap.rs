@@ -146,21 +146,36 @@ impl Supercap {
     }
 
     /// Inverts the energy integral: the voltage at which the usable energy
-    /// above `v_min` equals `e` (bisection; the integral is monotone).
+    /// above `v_min` equals `e`.
+    ///
+    /// The integral is convex and increasing (`k_v ≥ 0`), so Newton from
+    /// the flat-capacitance estimate `√(v_min² + 2e/C₀)` converges
+    /// monotonically after at most one overshoot — no bracketing needed.
+    /// The result is clamped to the voltage window, matching the old
+    /// bisection's behaviour for energies beyond the capacity.
     fn voltage_for_energy(&self, e: Joules) -> Volts {
         if e.value() <= 0.0 {
             return self.v_min;
         }
-        let (mut lo, mut hi) = (self.v_min.value(), self.v_max.value());
-        for _ in 0..60 {
-            let mid = 0.5 * (lo + hi);
-            if self.energy_between(self.v_min, Volts::new(mid)).value() < e.value() {
-                lo = mid;
-            } else {
-                hi = mid;
+        let a = self.v_min.value();
+        let c0 = self.c0.value();
+        let k = self.k_v;
+        let target = e.value();
+        let mut v = (a * a + 2.0 * target / c0).sqrt();
+        for _ in 0..64 {
+            let fp = (c0 + k * v) * v;
+            if fp <= 0.0 {
+                break;
             }
+            let f = c0 * (v * v - a * a) / 2.0 + k * (v * v * v - a * a * a) / 3.0 - target;
+            let next = v - f / fp;
+            if (next - v).abs() <= 2.0 * f64::EPSILON * v.abs() {
+                v = next;
+                break;
+            }
+            v = next;
         }
-        Volts::new(0.5 * (lo + hi))
+        Volts::new(v.clamp(a, self.v_max.value()))
     }
 
     /// Fraction of transferred power lost in the ESR at the present

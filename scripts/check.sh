@@ -21,8 +21,31 @@ for ex in examples/*.rs; do
     cargo run --release -q -p mseh --example "$name" >/dev/null
 done
 
-echo "==> perf smoke (reduced budget, writes target/BENCH_sim_quick.json)"
-cargo run --release -q -p mseh-bench --bin perf -- --quick
+echo "==> perf smoke (reduced budget, perf profile, writes target/BENCH_sim_quick.json)"
+# The perf profile matches the committed baseline's host.profile, so the
+# regression gate below compares like with like.
+cargo run --profile perf -q -p mseh-bench --bin perf -- --quick
+
+echo "==> perf regression gate (quick steps/s vs committed BENCH_sim.json)"
+baseline="$(awk -F': ' '/"steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_sim.json)"
+quick="$(awk -F': ' '/"steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' target/BENCH_sim_quick.json)"
+awk -v q="$quick" -v b="$baseline" 'BEGIN {
+    floor = b * 0.8
+    if (q + 0 < floor) {
+        printf "FAIL: steps_per_sec %.1f is >20%% below committed baseline %.1f (floor %.1f)\n", q, b, floor
+        exit 1
+    }
+    printf "ok: steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
+}'
+
+echo "==> kernel-cache bit-identity smoke (System C, cached vs uncached)"
+# The harness itself asserts bit-identity before writing the flag; the
+# grep makes the gate visible even when the JSON came from an older run.
+grep -q '"cached_matches_uncached": true' target/BENCH_sim_quick.json || {
+    echo "FAIL: cached System C trace diverged from the uncached reference"
+    exit 1
+}
+echo "ok: cached System C trace bit-identical to uncached reference"
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
