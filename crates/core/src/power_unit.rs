@@ -34,6 +34,18 @@ pub enum StoreRole {
     Backup,
 }
 
+impl StoreRole {
+    /// Every role in charge/discharge priority order (the `Ord` order).
+    /// Iterating ports rank-by-rank in declaration order reproduces a
+    /// stable sort by role without allocating — the hot loop's ordering
+    /// contract.
+    pub const PRIORITY: [StoreRole; 3] = [
+        StoreRole::PrimaryBuffer,
+        StoreRole::SecondaryBuffer,
+        StoreRole::Backup,
+    ];
+}
+
 /// The supervisory arrangement: who is energy-aware, what they can see,
 /// and how they talk to the embedded device.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -316,18 +328,28 @@ impl PowerUnit {
     /// to the primary's voltage when everything is empty; zero with no
     /// storage attached.
     pub fn store_voltage(&self) -> Volts {
-        let mut occupied: Vec<&StorePort> = self
-            .store_ports
-            .iter()
-            .filter(|p| p.device.is_some())
-            .collect();
-        occupied.sort_by_key(|p| p.role);
-        occupied
-            .iter()
-            .find(|p| !p.device.as_ref().expect("occupied").is_depleted())
-            .or_else(|| occupied.first())
-            .and_then(|p| p.device.as_ref().map(|d| d.voltage()))
-            .unwrap_or(Volts::ZERO)
+        // Visit occupied ports in role priority without materializing a
+        // sorted list: iterating the role ranks outer and the ports in
+        // declaration order inner reproduces exactly the order a stable
+        // sort by role would give. This is the hot loop's most frequent
+        // query (twice per step), so it must not allocate.
+        let mut first: Option<&dyn Storage> = None;
+        for role in StoreRole::PRIORITY {
+            for port in &self.store_ports {
+                if port.role != role {
+                    continue;
+                }
+                if let Some(device) = port.device.as_deref() {
+                    if !device.is_depleted() {
+                        return device.voltage();
+                    }
+                    if first.is_none() {
+                        first = Some(device);
+                    }
+                }
+            }
+        }
+        first.map(|d| d.voltage()).unwrap_or(Volts::ZERO)
     }
 
     /// Total stored energy across buffers (excluding backups), actual.
@@ -617,6 +639,20 @@ impl PowerUnit {
         }
     }
 
+    /// Selects the kernel cache's key tier on every input channel:
+    /// `None` is the exact tier (bit-identical replays), `Some(m)` the
+    /// opt-in quantized tier that truncates `m` low mantissa bits of
+    /// each sensed ambient field before keying and solving (see
+    /// [`InputChannel::set_cache_quantization`] for the ULP-bounded
+    /// error contract). Switching tiers flushes all solve memos.
+    pub fn set_kernel_cache_quantization(&mut self, drop_bits: Option<u32>) {
+        for port in &mut self.harvester_ports {
+            if let Some(channel) = port.channel.as_mut() {
+                channel.set_cache_quantization(drop_bits);
+            }
+        }
+    }
+
     /// Energy currently stranded inside attached stores by active faults
     /// (content that physically exists but cannot be delivered).
     pub fn stranded_energy(&self) -> Joules {
@@ -748,41 +784,49 @@ impl PowerUnit {
         let mut spilled = Joules::ZERO;
         let mut unmet = Joules::ZERO;
 
+        // Both balance directions visit occupied ports in role priority.
+        // Rank-outer/declaration-inner iteration reproduces the stable
+        // sort-by-role order bit for bit without allocating a sorted
+        // port list per step (this runs once per node-step across the
+        // whole fleet).
         if e_h >= demand {
             let mut surplus = e_h - demand;
-            // Charge buffers in role priority.
-            let mut order: Vec<&mut StorePort> = self
-                .store_ports
-                .iter_mut()
-                .filter(|p| p.device.is_some() && p.role != StoreRole::Backup)
-                .collect();
-            order.sort_by_key(|p| p.role);
-            for port in order {
-                if surplus.value() <= 0.0 {
-                    break;
+            // Charge buffers in role priority; backups are never charged.
+            'charge: for role in StoreRole::PRIORITY {
+                if role == StoreRole::Backup {
+                    continue;
                 }
-                let device = port.device.as_mut().expect("filtered occupied");
-                let taken = device.charge(surplus / dt, dt);
-                charged += taken;
-                surplus -= taken;
+                for port in &mut self.store_ports {
+                    if port.role != role {
+                        continue;
+                    }
+                    if surplus.value() <= 0.0 {
+                        break 'charge;
+                    }
+                    if let Some(device) = port.device.as_mut() {
+                        let taken = device.charge(surplus / dt, dt);
+                        charged += taken;
+                        surplus -= taken;
+                    }
+                }
             }
             spilled = surplus.max(Joules::ZERO);
         } else {
             let mut deficit = demand - e_h;
-            let mut order: Vec<&mut StorePort> = self
-                .store_ports
-                .iter_mut()
-                .filter(|p| p.device.is_some())
-                .collect();
-            order.sort_by_key(|p| p.role);
-            for port in order {
-                if deficit.value() <= 0.0 {
-                    break;
+            'discharge: for role in StoreRole::PRIORITY {
+                for port in &mut self.store_ports {
+                    if port.role != role {
+                        continue;
+                    }
+                    if deficit.value() <= 0.0 {
+                        break 'discharge;
+                    }
+                    if let Some(device) = port.device.as_mut() {
+                        let got = device.discharge(deficit / dt, dt);
+                        discharged += got;
+                        deficit -= got;
+                    }
                 }
-                let device = port.device.as_mut().expect("filtered occupied");
-                let got = device.discharge(deficit / dt, dt);
-                discharged += got;
-                deficit -= got;
             }
             unmet = deficit.max(Joules::ZERO);
         }

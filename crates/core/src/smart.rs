@@ -22,8 +22,10 @@ use mseh_units::{Joules, Seconds, Volts, Watts};
 
 /// What a smart module wraps.
 pub enum SmartPayload {
-    /// A harvester with its own local conditioning and tracker.
-    Harvester(InputChannel),
+    /// A harvester with its own local conditioning and tracker
+    /// (boxed: an `InputChannel` dwarfs the storage variant's fat
+    /// pointer).
+    Harvester(Box<InputChannel>),
     /// A storage device with its own gauge.
     Storage(Box<dyn Storage>),
 }
@@ -47,7 +49,7 @@ impl SmartModule {
     pub fn harvester(datasheet: ElectronicDatasheet, channel: InputChannel) -> Self {
         Self {
             datasheet,
-            payload: SmartPayload::Harvester(channel),
+            payload: SmartPayload::Harvester(Box::new(channel)),
             mcu_overhead: Self::DEFAULT_MCU_OVERHEAD,
             last_reported: Watts::ZERO,
         }

@@ -41,6 +41,7 @@
 
 mod conditions;
 mod indoor;
+mod jitter;
 mod replay;
 mod rf;
 pub mod rng;
@@ -53,6 +54,7 @@ mod wind;
 
 pub use conditions::EnvConditions;
 pub use indoor::{IndoorLightModel, VibrationModel};
+pub use jitter::{EnvJitter, JitterFactors, JitteredEnv};
 pub use replay::{EnvSampler, ReplayEnvironment};
 pub use rf::RfModel;
 pub use scenario::{Environment, EnvironmentBuilder};

@@ -69,6 +69,10 @@ pub struct InputChannel {
     /// the exact ambient bit pattern and the step width.
     memo: Option<ChannelMemo>,
     cache_enabled: bool,
+    /// When set, the memo keys on — and the solve runs against — ambient
+    /// snapshots with this many low mantissa bits truncated per field
+    /// (the opt-in quantized key tier). `None` is the exact tier.
+    quantize_drop_bits: Option<u32>,
     memo_hits: u64,
     memo_misses: u64,
     memo_invalidations: u64,
@@ -98,6 +102,7 @@ impl InputChannel {
             converter,
             memo: None,
             cache_enabled: true,
+            quantize_drop_bits: None,
             memo_hits: 0,
             memo_misses: 0,
             memo_invalidations: 0,
@@ -153,6 +158,52 @@ impl InputChannel {
     /// Whether the channel's kernel cache is serving memoized results.
     pub fn cache_enabled(&self) -> bool {
         self.cache_enabled
+    }
+
+    /// Selects the kernel cache's key tier. `None` (the default) is the
+    /// exact tier: memo keys are the untouched ambient bit patterns and
+    /// replays are bit-identical to fresh solves. `Some(m)` enables the
+    /// quantized tier: before keying *and* solving, the snapshot's
+    /// sensed fields are truncated by `m` low mantissa bits
+    /// ([`EnvConditions::quantize_mantissa`]), so a stochastic
+    /// environment whose fields wander within one bucket still replays.
+    ///
+    /// The error contract is ULP-bounded on the input: each field moves
+    /// by a relative amount below `2^(m−52)` and the replayed step is the
+    /// exact solve of that quantized snapshot — the quantized tier is
+    /// verifiable against the exact path by re-solving the quantized
+    /// input. Switching tiers flushes all solve memos.
+    pub fn set_cache_quantization(&mut self, drop_bits: Option<u32>) {
+        let normalized = drop_bits.filter(|&m| m > 0).map(|m| m.min(52));
+        if self.quantize_drop_bits != normalized {
+            self.quantize_drop_bits = normalized;
+            self.invalidate_solve_memos();
+        }
+    }
+
+    /// The active quantized-tier width (`None` = exact tier).
+    pub fn cache_quantization(&self) -> Option<u32> {
+        self.quantize_drop_bits
+    }
+
+    /// Whether, *from the channel's current state*, a repeat [`step`]
+    /// under identical conditions and the same `dt` is guaranteed to be a
+    /// memo replay (bit-identical, no fresh solve).
+    ///
+    /// This holds when the cache is enabled, the controller's choice is a
+    /// pure function of `(env, dt)` in its current state, and every block
+    /// in the chain is time-invariant. The fleet engine's dense lane uses
+    /// this to prove that driving one representative channel once per
+    /// control window reproduces each member node's per-step channel
+    /// outputs exactly.
+    ///
+    /// [`step`]: InputChannel::step
+    pub fn is_replayable(&self, dt: Seconds) -> bool {
+        self.cache_enabled
+            && self.controller.is_env_pure(dt)
+            && self.harvester.is_time_invariant()
+            && self.protection.is_time_invariant()
+            && self.converter.is_time_invariant()
     }
 
     /// Counters for the channel step memo alone (no harvester cache).
@@ -275,23 +326,39 @@ impl InputChannel {
             && self.protection.is_time_invariant()
             && self.converter.is_time_invariant()
         {
-            let key = (env.ambient_bits(), dt.value().to_bits());
-            if let Some(memo) = self.memo {
-                if memo.key == key {
-                    self.memo_hits += 1;
-                    // The controller still has to land in the same state a
-                    // real choose_voltage would have left it in.
-                    self.controller
-                        .reuse_voltage(memo.step.operating_voltage, dt);
-                    return memo.step;
+            // Quantized tier: key *and* solve on the truncated snapshot,
+            // so a replay is the exact solve of the same input the miss
+            // path saw — self-consistent by construction.
+            return match self.quantize_drop_bits {
+                Some(bits) => {
+                    let q = env.quantize_mantissa(bits);
+                    self.memo_step(&q, dt)
                 }
-            }
-            self.memo_misses += 1;
-            let step = self.solve_step(env, dt);
-            self.memo = Some(ChannelMemo { key, step });
-            return step;
+                None => self.memo_step(env, dt),
+            };
         }
         self.solve_step(env, dt)
+    }
+
+    /// The memoized step path: replay on a key match, otherwise solve
+    /// `env` (already quantized when the quantized tier is active) and
+    /// store the result.
+    fn memo_step(&mut self, env: &EnvConditions, dt: Seconds) -> HarvestStep {
+        let key = (env.ambient_bits(), dt.value().to_bits());
+        if let Some(memo) = self.memo {
+            if memo.key == key {
+                self.memo_hits += 1;
+                // The controller still has to land in the same state a
+                // real choose_voltage would have left it in.
+                self.controller
+                    .reuse_voltage(memo.step.operating_voltage, dt);
+                return memo.step;
+            }
+        }
+        self.memo_misses += 1;
+        let step = self.solve_step(env, dt);
+        self.memo = Some(ChannelMemo { key, step });
+        step
     }
 
     /// The full per-step solve (no memo consulted).
@@ -497,6 +564,90 @@ mod tests {
         let stats = cached.kernel_cache_stats();
         assert!(stats.hits >= 20, "{stats:?}");
         assert_eq!(cold.kernel_cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn quantized_tier_hits_under_wandering_conditions() {
+        use crate::mppt::FractionalVoc;
+        let build = || {
+            InputChannel::new(
+                Box::new(PvModule::outdoor_panel_half_watt()),
+                Box::new(FractionalVoc::pv_standard()),
+                Box::new(IdealDiode::nanopower()),
+                Box::new(DcDcConverter::mppt_front_end_5v()),
+            )
+        };
+        // Irradiance drifts by ~0.005 % per step: the exact tier misses
+        // every step, the 44-bit quantized tier buckets them together.
+        let dt = Seconds::new(60.0);
+        let drift = |ch: &mut InputChannel| {
+            for i in 0..50 {
+                let mut env = EnvConditions::quiescent(Seconds::new(60.0 * i as f64));
+                env.irradiance = WattsPerSqM::new(800.0 * (1.0 + 5e-5 * (i % 5) as f64));
+                ch.step(&env, dt);
+            }
+        };
+        let mut exact = build();
+        drift(&mut exact);
+        assert_eq!(exact.memo_stats().hits, 0, "exact tier must not bucket");
+
+        let mut quantized = build();
+        quantized.set_cache_quantization(Some(44));
+        assert_eq!(quantized.cache_quantization(), Some(44));
+        drift(&mut quantized);
+        assert!(
+            quantized.memo_stats().hits >= 40,
+            "{:?}",
+            quantized.memo_stats()
+        );
+    }
+
+    #[test]
+    fn quantized_replay_equals_exact_solve_of_quantized_input() {
+        // The verification contract: whatever the quantized tier returns
+        // must equal an uncached channel stepped on the pre-quantized
+        // snapshot. FixedPoint is env-pure on every step, so the
+        // quantized tier is engaged throughout.
+        let build = || pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        let bits = 44;
+        let mut quantized = build();
+        quantized.set_cache_quantization(Some(bits));
+        let mut reference = build();
+        reference.set_cache_enabled(false);
+        let dt = Seconds::new(60.0);
+        for i in 0..30 {
+            let mut env = EnvConditions::quiescent(Seconds::new(60.0 * i as f64));
+            env.irradiance = WattsPerSqM::new(641.0 + 0.013 * (i % 7) as f64);
+            let a = quantized.step(&env, dt);
+            let b = reference.step(&env.quantize_mantissa(bits), dt);
+            assert_eq!(a, b, "step {i}");
+        }
+        // And the input perturbation stays within the documented bound.
+        let env = {
+            let mut e = EnvConditions::quiescent(Seconds::ZERO);
+            e.irradiance = WattsPerSqM::new(641.987);
+            e
+        };
+        let q = env.quantize_mantissa(bits);
+        let rel = (env.irradiance.value() - q.irradiance.value()).abs() / env.irradiance.value();
+        assert!(rel < 2f64.powi(bits as i32 - 52));
+    }
+
+    #[test]
+    fn switching_tiers_flushes_memos_and_zero_is_exact() {
+        let mut ch = pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        let env = sunny();
+        ch.step(&env, Seconds::new(1.0));
+        ch.step(&env, Seconds::new(1.0));
+        let invalidations = ch.memo_stats().invalidations;
+        ch.set_cache_quantization(Some(40));
+        assert!(ch.memo_stats().invalidations > invalidations);
+        // Some(0) normalizes to the exact tier.
+        ch.set_cache_quantization(Some(0));
+        assert_eq!(ch.cache_quantization(), None);
+        // Oversized widths clamp to the full mantissa.
+        ch.set_cache_quantization(Some(99));
+        assert_eq!(ch.cache_quantization(), Some(52));
     }
 
     #[test]

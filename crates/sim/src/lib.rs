@@ -64,6 +64,7 @@
 mod campaign;
 mod ensemble;
 mod fault;
+mod fleet;
 mod metrics;
 mod observe;
 mod parallel;
@@ -81,6 +82,11 @@ pub use ensemble::{
 };
 pub use fault::{
     DegradingHarvester, FailingStorage, FaultSchedule, GlitchingHarvester, IntermittentStorage,
+};
+pub use fleet::{
+    run_fleet, ChannelFactory, DenseGroup, DenseStore, EnvCadence, FleetConfig, FleetGroup,
+    FleetResult, FleetSpec, FleetSummary, GroupEntry, PlatformFactory, PolicyFactory, Straggler,
+    UptimePercentiles,
 };
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry,

@@ -62,6 +62,15 @@ pub trait Platform {
     fn set_kernel_cache_enabled(&mut self, enabled: bool) {
         let _ = enabled;
     }
+
+    /// Selects the kernel cache's key tier: `None` is the exact tier,
+    /// `Some(m)` the opt-in quantized tier truncating `m` low mantissa
+    /// bits of each ambient field before keying and solving (ULP-bounded
+    /// input perturbation below `2^(m−52)` relative, per field).
+    /// Default: no-op for platforms without caches.
+    fn set_kernel_cache_quantization(&mut self, drop_bits: Option<u32>) {
+        let _ = drop_bits;
+    }
 }
 
 impl Platform for PowerUnit {
@@ -103,6 +112,10 @@ impl Platform for PowerUnit {
 
     fn set_kernel_cache_enabled(&mut self, enabled: bool) {
         PowerUnit::set_kernel_cache_enabled(self, enabled)
+    }
+
+    fn set_kernel_cache_quantization(&mut self, drop_bits: Option<u32>) {
+        PowerUnit::set_kernel_cache_quantization(self, drop_bits)
     }
 }
 

@@ -24,7 +24,7 @@ use mseh_units::{Joules, Seconds, Volts, Watts};
 /// assert!(taken.value() > 0.0);
 /// assert!(cell.soc().value() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Battery {
     name: String,
     kind: StorageKind,
@@ -47,6 +47,29 @@ pub struct Battery {
     losses: Joules,
     /// Total energy throughput (for cycle counting).
     throughput: Joules,
+    /// Memoized self-discharge keep factor for the last idle `dt`
+    /// (`dt` bits → `(1 − r)^months`). `keep` is a pure function of
+    /// `dt`, so replaying it for a repeated step width is bit-identical
+    /// to recomputing the `powf` — fixed-step simulation hits this every
+    /// step. Excluded from equality: it is a cache, not state.
+    idle_keep_memo: Option<(u64, f64)>,
+}
+
+impl PartialEq for Battery {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.kind == other.kind
+            && self.capacity == other.capacity
+            && self.ocv_curve == other.ocv_curve
+            && self.eta_charge == other.eta_charge
+            && self.eta_discharge == other.eta_discharge
+            && self.self_discharge_month == other.self_discharge_month
+            && self.c_rate_charge == other.c_rate_charge
+            && self.c_rate_discharge == other.c_rate_discharge
+            && self.energy == other.energy
+            && self.losses == other.losses
+            && self.throughput == other.throughput
+    }
 }
 
 impl Battery {
@@ -105,6 +128,7 @@ impl Battery {
             energy: Joules::ZERO,
             losses: Joules::ZERO,
             throughput: Joules::ZERO,
+            idle_keep_memo: None,
         }
     }
 
@@ -283,9 +307,19 @@ impl Storage for Battery {
         if dt.value() <= 0.0 || self.energy.value() <= 0.0 {
             return;
         }
-        // Exponential self-discharge with the per-month rate.
-        let months = dt.value() / (30.0 * 86_400.0);
-        let keep = (1.0 - self.self_discharge_month).powf(months);
+        // Exponential self-discharge with the per-month rate. The keep
+        // factor depends only on `dt`, so fixed-step simulation replays
+        // the memoized `powf` bit for bit instead of re-evaluating it.
+        let bits = dt.value().to_bits();
+        let keep = match self.idle_keep_memo {
+            Some((memo_bits, memo_keep)) if memo_bits == bits => memo_keep,
+            _ => {
+                let months = dt.value() / (30.0 * 86_400.0);
+                let keep = (1.0 - self.self_discharge_month).powf(months);
+                self.idle_keep_memo = Some((bits, keep));
+                keep
+            }
+        };
         let remaining = self.energy * keep;
         self.losses += self.energy - remaining;
         self.energy = remaining;

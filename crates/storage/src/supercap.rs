@@ -138,6 +138,7 @@ impl Supercap {
 
     /// Usable energy between `v_min` and `v`:
     /// `∫ C(u)·u du = C₀(v²−v_min²)/2 + k(v³−v_min³)/3`.
+    #[inline]
     fn energy_between(&self, lo: Volts, hi: Volts) -> Joules {
         let (a, b) = (lo.value(), hi.value());
         Joules::new(
@@ -180,6 +181,7 @@ impl Supercap {
 
     /// Fraction of transferred power lost in the ESR at the present
     /// voltage, for a transfer at power `p`.
+    #[inline]
     fn esr_loss_ratio(&self, p: Watts) -> f64 {
         let v_eff = self.v.value().max(0.2);
         let i = p.value() / v_eff;
@@ -202,14 +204,17 @@ impl Storage for Supercap {
         self.kind
     }
 
+    #[inline]
     fn voltage(&self) -> Volts {
         self.v
     }
 
+    #[inline]
     fn stored_energy(&self) -> Joules {
         self.energy_between(self.v_min, self.v)
     }
 
+    #[inline]
     fn capacity(&self) -> Joules {
         self.energy_between(self.v_min, self.v_max)
     }
@@ -240,6 +245,7 @@ impl Storage for Supercap {
         self.v * mseh_units::Amps::new(i_max)
     }
 
+    #[inline]
     fn charge(&mut self, power: Watts, dt: Seconds) -> Joules {
         let p = power.min(self.max_charge_power()).max(Watts::ZERO);
         if p.value() == 0.0 || dt.value() <= 0.0 {
@@ -260,6 +266,7 @@ impl Storage for Supercap {
         taken
     }
 
+    #[inline]
     fn discharge(&mut self, power: Watts, dt: Seconds) -> Joules {
         let p = power.min(self.max_discharge_power()).max(Watts::ZERO);
         if p.value() == 0.0 || dt.value() <= 0.0 {
@@ -277,6 +284,7 @@ impl Storage for Supercap {
         delivered
     }
 
+    #[inline]
     fn idle(&mut self, dt: Seconds) {
         if dt.value() <= 0.0 {
             return;
@@ -289,6 +297,7 @@ impl Storage for Supercap {
         self.losses += actually_leaked;
     }
 
+    #[inline]
     fn losses(&self) -> Joules {
         self.losses
     }

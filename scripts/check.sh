@@ -38,6 +38,37 @@ awk -v q="$quick" -v b="$baseline" 'BEGIN {
     printf "ok: steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
 }'
 
+echo "==> fleet regression gate (quick node-steps/s vs committed BENCH_sim.json)"
+# First "node_steps_per_sec" in both files is the dense battery-class
+# headline row, so the gate compares the same lane at quick vs full
+# scale. The floor is 30% (vs 20% for the hot loop): the quick fleet
+# row is seconds long and its rate swings ~±15% with host load, while
+# a real dense-lane regression (losing the shared table or the store
+# monomorphization) costs 5-8x.
+fleet_baseline="$(awk -F': ' '/"node_steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_sim.json)"
+fleet_quick="$(awk -F': ' '/"node_steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' target/BENCH_sim_quick.json)"
+awk -v q="$fleet_quick" -v b="$fleet_baseline" 'BEGIN {
+    floor = b * 0.7
+    if (q + 0 < floor) {
+        printf "FAIL: fleet node_steps_per_sec %.1f is >30%% below committed baseline %.1f (floor %.1f)\n", q, b, floor
+        exit 1
+    }
+    printf "ok: fleet node_steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
+}'
+
+echo "==> fleet bit-identity smoke (one-node fleet vs run_simulation)"
+# The harness asserts the equality before writing the flag, alongside
+# the thread x shard invariance gate.
+grep -q '"one_node_matches_single_run": true' target/BENCH_sim_quick.json || {
+    echo "FAIL: one-node fleet diverged from the single-run kernel"
+    exit 1
+}
+grep -q '"thread_shard_invariant": true' target/BENCH_sim_quick.json || {
+    echo "FAIL: fleet summary not invariant across threads and shard sizes"
+    exit 1
+}
+echo "ok: one-node fleet bit-identical to run_simulation; geometry invariant"
+
 echo "==> kernel-cache bit-identity smoke (System C, cached vs uncached)"
 # The harness itself asserts bit-identity before writing the flag; the
 # grep makes the gate visible even when the JSON came from an older run.
