@@ -33,8 +33,8 @@ use mseh_power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
 use mseh_sim::{
     run_fleet, run_resilience_campaign_with_threads, run_seed_ensemble_seq,
     run_seed_ensemble_with_threads, run_simulation, run_simulation_observed, CampaignConfig,
-    ConservationAuditor, DenseGroup, DenseStore, FleetConfig, FleetGroup, FleetSpec, FleetSummary,
-    MetricsObserver, Platform, SimConfig, SimResult, Tandem,
+    ConservationAuditor, DenseGroup, DenseSolveTier, DenseStore, FleetConfig, FleetGroup,
+    FleetSpec, FleetSummary, MetricsObserver, Platform, SimConfig, SimResult, Tandem,
 };
 use mseh_storage::{Battery, Supercap};
 use mseh_systems::{resilience, SystemId};
@@ -120,6 +120,21 @@ fn dense_fleet_spec(count: usize, jitter: Option<f64>) -> FleetSpec {
         group = group.with_jitter(EnvJitter::relative(rel));
     }
     spec.add_dense_group(group);
+    spec
+}
+
+/// One-group dense supercap-class fleet (the batched-solve headline:
+/// every step runs the EDLC transfer + idle solves, so the row isolates
+/// the struct-of-arrays Newton from the battery lane's memoized path).
+fn dense_supercap_fleet_spec(count: usize) -> FleetSpec {
+    let mut spec = FleetSpec::new();
+    let site = spec.add_site(Environment::outdoor_temperate(42));
+    spec.add_dense_group(dense_supercap_group(
+        "dense solar+EDLC (supercap class)",
+        count,
+        site,
+        5,
+    ));
     spec
 }
 
@@ -660,6 +675,59 @@ fn main() {
         });
     }
 
+    // --- Dense supercap lane: batched vs scalar solve tiers. --------
+    // The batched struct-of-arrays tier must reproduce the scalar tier
+    // bit for bit (the check.sh identity smoke rides on this assert);
+    // the interpolated tier is reported alongside with the worst-case
+    // table deviation it recorded against the exact solve.
+    let (cap_n, cap_h) = if quick { (5_000, 2.0) } else { (50_000, 24.0) };
+    let cap_spec = dense_supercap_fleet_spec(cap_n);
+    let cap_horizon = Seconds::from_hours(cap_h);
+    let (cap_secs, cap_summary) = time_fleet(
+        &cap_spec,
+        FleetConfig::over(cap_horizon).with_dense_tier(DenseSolveTier::Batched),
+    );
+    let (cap_scalar_secs, cap_scalar_summary) = time_fleet(
+        &cap_spec,
+        FleetConfig::over(cap_horizon).with_dense_tier(DenseSolveTier::Scalar),
+    );
+    // Un-jittered dense groups replay the shared harvest table on both
+    // tiers, so even the cache counters agree: full summary equality.
+    assert_eq!(
+        cap_summary, cap_scalar_summary,
+        "batched supercap tier diverged from the scalar reference"
+    );
+    assert!(cap_summary.audit_relative < 1e-6);
+    assert!(cap_summary.worst_node_audit < 1e-6);
+    let (cap_interp_secs, cap_interp_summary) = time_fleet(
+        &cap_spec,
+        FleetConfig::over(cap_horizon)
+            .with_dense_tier(DenseSolveTier::Interpolated { samples: 4096 }),
+    );
+    assert!(cap_interp_summary.audit_relative < 1e-6);
+    assert!(cap_interp_summary.worst_node_audit < 1e-6);
+    let cap_population = cap_summary.population;
+    let cap_steps_per_node = cap_summary.steps_per_node;
+    let cap_rate = cap_summary.node_steps as f64 / cap_secs;
+    let cap_scalar_rate = cap_summary.node_steps as f64 / cap_scalar_secs;
+    let cap_interp_rate = cap_interp_summary.node_steps as f64 / cap_interp_secs;
+    let cap_speedup = cap_rate / cap_scalar_rate;
+    println!(
+        "fleet      : dense solar+EDLC (supercap class): {cap_population} nodes \u{d7} \
+         {cap_steps_per_node} steps, batched {:.2} M node-steps/s vs scalar {:.2} M \
+         (\u{d7}{cap_speedup:.1}), interp {:.2} M at {:.2e} max deviation, batched \u{2261} scalar",
+        cap_rate / 1e6,
+        cap_scalar_rate / 1e6,
+        cap_interp_rate / 1e6,
+        cap_interp_summary.interp_max_deviation,
+    );
+    fleet_rows.push(FleetRow {
+        name: "dense solar+EDLC (supercap class)",
+        lane: "dense (batched SoA)",
+        seconds: cap_secs,
+        summary: cap_summary,
+    });
+
     // --- Resilience campaign: fault-injection throughput + summary. -
     // System D (MPWiNode) in its agricultural deployment, primary store
     // failing open and lead harvester glitching on seeded stochastic
@@ -704,7 +772,7 @@ fn main() {
     // --- Emit BENCH_sim.json. ---------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v5\",");
+    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v6\",");
     let _ = writeln!(
         json,
         "  \"scenario\": \"System C, outdoor temperate, 60 s steps, fixed 5% duty\","
@@ -846,7 +914,42 @@ fn main() {
         let _ = writeln!(json, "        \"audit_relative\": {:.3e}", s.audit_relative);
         let _ = writeln!(json, "      }}{comma}");
     }
-    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"dense_supercap\": {{");
+    let _ = writeln!(json, "      \"population\": {cap_population},");
+    let _ = writeln!(json, "      \"steps_per_node\": {cap_steps_per_node},");
+    let _ = writeln!(json, "      \"threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "      \"dense_supercap_batched_matches_scalar\": true,"
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_supercap_node_steps_per_sec\": {cap_rate:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_supercap_per_core_node_steps_per_sec\": {:.1},",
+        cap_rate / host_threads as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_supercap_scalar_node_steps_per_sec\": {cap_scalar_rate:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_supercap_speedup_vs_scalar\": {cap_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"interpolated_node_steps_per_sec\": {cap_interp_rate:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"interp_max_deviation\": {:.3e}",
+        cap_interp_summary.interp_max_deviation
+    );
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"campaign\": {{");
     let _ = writeln!(

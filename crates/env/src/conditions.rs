@@ -118,7 +118,9 @@ impl EnvConditions {
     ///
     /// `drop_bits = 0` is the identity; values ≥ 52 clamp to 52 (sign and
     /// exponent always survive). Zeros, infinities and NaNs are mapped
-    /// onto themselves (NaN payload bits may truncate).
+    /// onto themselves: non-finite values pass through untouched, because
+    /// masking a NaN whose payload sits entirely in the dropped bits would
+    /// otherwise collapse it into an infinity of the same sign.
     ///
     /// ```
     /// use mseh_env::EnvConditions;
@@ -137,7 +139,12 @@ impl EnvConditions {
             return *self;
         }
         let mask = !((1u64 << m) - 1);
-        let q = |v: f64| f64::from_bits(v.to_bits() & mask);
+        let q = |v: f64| {
+            if !v.is_finite() {
+                return v;
+            }
+            f64::from_bits(v.to_bits() & mask)
+        };
         Self {
             time: self.time,
             irradiance: WattsPerSqM::new(q(self.irradiance.value())),
@@ -208,6 +215,33 @@ mod tests {
         assert_eq!(c.quantize_mantissa(44).time, c.time);
         // Zeros map onto themselves: a dark sky stays exactly dark.
         assert_eq!(c.quantize_mantissa(44).rf_incident.value(), 0.0);
+    }
+
+    #[test]
+    fn quantization_passes_non_finite_values_through() {
+        // A quiet NaN whose payload sits entirely in the dropped bits used
+        // to collapse into +Inf (exponent all-ones, mantissa zero) once the
+        // mask zeroed the payload. Non-finite values must pass through.
+        let payload_nan = f64::from_bits(0x7FF0_0000_0000_0001);
+        assert!(payload_nan.is_nan());
+        let mut c = EnvConditions::quiescent(Seconds::ZERO);
+        c.irradiance = WattsPerSqM::new(payload_nan);
+        c.wind = MetersPerSecond::new(f64::NAN);
+        c.rf_incident = Watts::new(f64::INFINITY);
+        c.ambient = Celsius::new(f64::NEG_INFINITY);
+        for m in [1u32, 44, 52] {
+            let q = c.quantize_mantissa(m);
+            assert!(q.irradiance.value().is_nan(), "m = {m}");
+            assert!(q.wind.value().is_nan(), "m = {m}");
+            assert_eq!(q.rf_incident.value(), f64::INFINITY, "m = {m}");
+            assert_eq!(q.ambient.value(), f64::NEG_INFINITY, "m = {m}");
+        }
+        // Negative zero keeps its sign bit: the mask never touches it, and
+        // the pass-through guard must not reroute it either.
+        let mut z = EnvConditions::quiescent(Seconds::ZERO);
+        z.wind = MetersPerSecond::new(-0.0);
+        let qz = z.quantize_mantissa(44);
+        assert_eq!(qz.wind.value().to_bits(), (-0.0f64).to_bits());
     }
 
     #[test]

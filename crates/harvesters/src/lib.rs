@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod acdc;
+mod batch;
 mod cache;
 mod kind;
 mod pv;
@@ -51,9 +52,11 @@ mod vibration;
 mod wind;
 
 pub use acdc::AcDcInput;
+pub use batch::VocBatch;
 pub use cache::{CacheStats, SolveCache};
 pub use kind::HarvesterKind;
-pub use pv::PvModule;
+pub use mseh_units::BatchSolve;
+pub use pv::{PvModule, PvVocSolver};
 pub use rf::Rectenna;
 pub use teg::Teg;
 pub use thevenin::Thevenin;

@@ -5,14 +5,24 @@
 //! point is what makes MPPT worthwhile in Systems A and C, and what the
 //! fixed-point compromise of System B trades away (experiment E3).
 
+use crate::batch::VocBatch;
 use crate::cache::SolveCache;
 use crate::kind::HarvesterKind;
 use crate::transducer::Transducer;
 use mseh_env::EnvConditions;
-use mseh_units::{Amps, Volts, WattsPerSqM};
+use mseh_units::{Amps, BatchSolve, Volts, WattsPerSqM};
 
 /// Boltzmann constant over elementary charge, V/K.
 const K_OVER_Q: f64 = 8.617_333_262e-5;
+
+/// Newton iteration budget of the Voc solve (scalar and batched alike).
+const NEWTON_ITERS: usize = 32;
+
+/// Bisection iteration budget of the guard fallback.
+const BISECT_ITERS: usize = 64;
+
+/// Lanes per batched solve block: one `u64` mask word.
+const LANE_BLOCK: usize = 64;
 
 /// A photovoltaic module modelled with the single-diode equation
 ///
@@ -144,45 +154,60 @@ impl PvModule {
         self.ideality * self.n_series as f64 * K_OVER_Q * env.ambient.to_kelvin()
     }
 
-    /// Root of `f(V) = I_ph − I_0·(exp(V/vt) − 1) − V/R_sh` by guarded
-    /// Newton from the high side.
+    /// The detached Voc root-solve kernel: every constant the solve needs
+    /// and nothing else. Scalar [`open_circuit_voltage`] solves and the
+    /// batched [`VocBatch`] lanes both run through this one kernel, which
+    /// is what keeps them bit-identical by construction.
     ///
-    /// `f` is decreasing and concave, so from any point at or above the
-    /// root Newton descends monotonically onto it with quadratic
-    /// convergence. The ideal-diode closed form `vt·ln(1 + I_ph/I_0)`
-    /// (shunt ignored) sits just above the root (`f` there is exactly
-    /// `−V/R_sh < 0`), making it a deterministic near-root start: the
-    /// whole solve costs a handful of `exp`s where the previous 64-step
-    /// bisection cost 128. The start point is a pure function of the
-    /// inputs — never of solve history — so results are reproducible
-    /// bit-for-bit across runs.
-    fn solve_voc(&self, iph: f64, vt: f64) -> f64 {
-        let hi = self.voc_stc.value() * 1.5;
-        if self.i0 <= 0.0 || !self.i0.is_finite() {
-            return self.bisect_voc(iph, vt, hi);
+    /// [`open_circuit_voltage`]: Transducer::open_circuit_voltage
+    pub fn voc_solver(&self) -> PvVocSolver {
+        PvVocSolver {
+            i0: self.i0,
+            r_shunt: self.r_shunt,
+            hi: self.voc_stc.value() * 1.5,
         }
-        let mut v = (vt * (iph / self.i0).ln_1p()).min(hi);
-        for _ in 0..32 {
-            let e = (v / vt).exp();
-            let f = iph - self.i0 * (e - 1.0) - v / self.r_shunt;
-            let fp = -self.i0 * e / vt - 1.0 / self.r_shunt;
-            let next = v - f / fp;
-            if !next.is_finite() || next < 0.0 || next > hi {
-                return self.bisect_voc(iph, vt, hi);
-            }
-            if (next - v).abs() <= 1e-12 * v.abs().max(1e-3) {
-                return next;
-            }
-            v = next;
-        }
-        v
     }
 
+    fn solve_voc(&self, iph: f64, vt: f64) -> f64 {
+        self.voc_solver().solve_one((iph, vt))
+    }
+}
+
+/// The open-circuit-voltage root solve of a [`PvModule`], detached from
+/// the module: the root of `f(V) = I_ph − I_0·(exp(V/vt) − 1) − V/R_sh`
+/// by guarded Newton from the high side.
+///
+/// `f` is decreasing and concave, so from any point at or above the root
+/// Newton descends monotonically onto it with quadratic convergence. The
+/// ideal-diode closed form `vt·ln(1 + I_ph/I_0)` (shunt ignored) sits
+/// just above the root (`f` there is exactly `−V/R_sh < 0`), making it a
+/// deterministic near-root start. The start point is a pure function of
+/// the inputs — never of solve history — so results are reproducible
+/// bit-for-bit across runs.
+///
+/// The input of one solve is the pair `(iph, vt)`: photocurrent and
+/// junction thermal-voltage stack, the only per-environment quantities
+/// the root depends on. [`BatchSolve::solve_lanes`] runs the same Newton
+/// arithmetic across 64-lane blocks under a convergence mask — a lane
+/// that converges freezes at exactly the iterate the scalar solve would
+/// have returned, a lane that trips a guard falls back to the same
+/// bisection, and a lane that exhausts the iteration budget keeps its
+/// last iterate (the scalar behaviour), so every lane is bit-identical
+/// to [`BatchSolve::solve_one`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvVocSolver {
+    i0: f64,
+    r_shunt: f64,
+    /// Search ceiling `1.5·Voc_stc`.
+    hi: f64,
+}
+
+impl PvVocSolver {
     /// Bisection fallback over `[0, hi]`, the guard path when Newton
     /// leaves the bracket (degenerate parameters).
-    fn bisect_voc(&self, iph: f64, vt: f64, hi0: f64) -> f64 {
-        let (mut lo, mut hi) = (0.0, hi0);
-        for _ in 0..64 {
+    fn bisect(&self, iph: f64, vt: f64) -> f64 {
+        let (mut lo, mut hi) = (0.0, self.hi);
+        for _ in 0..BISECT_ITERS {
             let mid = 0.5 * (lo + hi);
             let f = iph - self.i0 * ((mid / vt).exp() - 1.0) - mid / self.r_shunt;
             if f > 0.0 {
@@ -192,6 +217,166 @@ impl PvModule {
             }
         }
         0.5 * (lo + hi)
+    }
+
+    /// Masked Newton over one block of at most 64 lanes. Bit `i` of
+    /// `mask` selects lane `i`; unselected lanes' `out` slots are left
+    /// untouched.
+    fn solve_block(&self, xs: &[(f64, f64)], mask: u64, out: &mut [f64]) {
+        debug_assert!(xs.len() <= LANE_BLOCK);
+        if self.i0 <= 0.0 || !self.i0.is_finite() {
+            for (i, &(iph, vt)) in xs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    out[i] = self.bisect(iph, vt);
+                }
+            }
+            return;
+        }
+        let mut v = [0.0f64; LANE_BLOCK];
+        let mut pending = mask;
+        let mut needs_bisect = 0u64;
+        for (i, &(iph, vt)) in xs.iter().enumerate() {
+            if pending & (1 << i) != 0 {
+                v[i] = (vt * (iph / self.i0).ln_1p()).min(self.hi);
+            }
+        }
+        for _ in 0..NEWTON_ITERS {
+            if pending == 0 {
+                break;
+            }
+            let mut lanes = pending;
+            while lanes != 0 {
+                let i = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                let (iph, vt) = xs[i];
+                let e = (v[i] / vt).exp();
+                let f = iph - self.i0 * (e - 1.0) - v[i] / self.r_shunt;
+                let fp = -self.i0 * e / vt - 1.0 / self.r_shunt;
+                let next = v[i] - f / fp;
+                if !next.is_finite() || next < 0.0 || next > self.hi {
+                    needs_bisect |= 1 << i;
+                    pending &= !(1 << i);
+                    continue;
+                }
+                if (next - v[i]).abs() <= 1e-12 * v[i].abs().max(1e-3) {
+                    v[i] = next;
+                    pending &= !(1 << i);
+                    continue;
+                }
+                v[i] = next;
+            }
+        }
+        // Lanes still pending after the budget keep their last iterate —
+        // exactly what the scalar loop returns when it falls through.
+        for (i, &(iph, vt)) in xs.iter().enumerate() {
+            let bit = 1u64 << i;
+            if mask & bit == 0 {
+                continue;
+            }
+            out[i] = if needs_bisect & bit != 0 {
+                self.bisect(iph, vt)
+            } else {
+                v[i]
+            };
+        }
+    }
+}
+
+impl BatchSolve for PvVocSolver {
+    type Input = (f64, f64);
+
+    fn solve_one(&self, (iph, vt): (f64, f64)) -> f64 {
+        if self.i0 <= 0.0 || !self.i0.is_finite() {
+            return self.bisect(iph, vt);
+        }
+        let mut v = (vt * (iph / self.i0).ln_1p()).min(self.hi);
+        for _ in 0..NEWTON_ITERS {
+            let e = (v / vt).exp();
+            let f = iph - self.i0 * (e - 1.0) - v / self.r_shunt;
+            let fp = -self.i0 * e / vt - 1.0 / self.r_shunt;
+            let next = v - f / fp;
+            if !next.is_finite() || next < 0.0 || next > self.hi {
+                return self.bisect(iph, vt);
+            }
+            if (next - v).abs() <= 1e-12 * v.abs().max(1e-3) {
+                return next;
+            }
+            v = next;
+        }
+        v
+    }
+
+    fn solve_lanes(&self, xs: &[(f64, f64)], active: &[bool], out: &mut [f64]) {
+        assert_eq!(xs.len(), active.len());
+        assert_eq!(xs.len(), out.len());
+        // Uniform broadcast: an unjittered fleet group hands every lane
+        // the same snapshot, so one solve fans out to all of them.
+        let mut uniform: Option<(u64, u64)> = None;
+        let mut all_same = true;
+        for (i, &(iph, vt)) in xs.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            let bits = (iph.to_bits(), vt.to_bits());
+            match uniform {
+                None => uniform = Some(bits),
+                Some(u) if u == bits => {}
+                Some(_) => {
+                    all_same = false;
+                    break;
+                }
+            }
+        }
+        if all_same {
+            if let Some((iph, vt)) = uniform {
+                let v = self.solve_one((f64::from_bits(iph), f64::from_bits(vt)));
+                for (i, slot) in out.iter_mut().enumerate() {
+                    if active[i] {
+                        *slot = v;
+                    }
+                }
+            }
+            return;
+        }
+        for ((xs, active), out) in xs
+            .chunks(LANE_BLOCK)
+            .zip(active.chunks(LANE_BLOCK))
+            .zip(out.chunks_mut(LANE_BLOCK))
+        {
+            let mut mask = 0u64;
+            for (i, &a) in active.iter().enumerate() {
+                if a {
+                    mask |= 1 << i;
+                }
+            }
+            if mask != 0 {
+                self.solve_block(xs, mask, out);
+            }
+        }
+    }
+}
+
+impl VocBatch for PvModule {
+    fn voc_lanes(&self, envs: &[EnvConditions], out: &mut [f64]) {
+        assert_eq!(envs.len(), out.len());
+        let solver = self.voc_solver();
+        let mut xs = [(0.0f64, 0.0f64); LANE_BLOCK];
+        let mut active = [false; LANE_BLOCK];
+        for (envs, out) in envs.chunks(LANE_BLOCK).zip(out.chunks_mut(LANE_BLOCK)) {
+            for (i, env) in envs.iter().enumerate() {
+                let iph = self.photocurrent(env.effective_irradiance());
+                if iph <= 0.0 {
+                    // Dead lane: the scalar path returns exactly zero
+                    // without consulting the solver.
+                    out[i] = 0.0;
+                    active[i] = false;
+                } else {
+                    xs[i] = (iph, self.vt_stack(env));
+                    active[i] = true;
+                }
+            }
+            solver.solve_lanes(&xs[..envs.len()], &active[..envs.len()], out);
+        }
     }
 }
 
@@ -231,6 +416,10 @@ impl Transducer for PvModule {
 
     fn solve_cache(&self) -> Option<&SolveCache> {
         Some(&self.cache)
+    }
+
+    fn voc_batch(&self) -> Option<&dyn VocBatch> {
+        Some(self)
     }
 
     fn env_signature(&self, env: &EnvConditions) -> [u64; 4] {

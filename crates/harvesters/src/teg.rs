@@ -1,5 +1,6 @@
 //! Thermoelectric generator: Seebeck voltage behind an internal resistance.
 
+use crate::batch::VocBatch;
 use crate::cache::SolveCache;
 use crate::kind::HarvesterKind;
 use crate::thevenin::Thevenin;
@@ -109,6 +110,10 @@ impl Transducer for Teg {
         Some(&self.cache)
     }
 
+    fn voc_batch(&self) -> Option<&dyn VocBatch> {
+        Some(self)
+    }
+
     fn env_signature(&self, env: &EnvConditions) -> [u64; 4] {
         // The gradient is hot_surface − ambient; both enter the key.
         [
@@ -117,6 +122,17 @@ impl Transducer for Teg {
             0,
             0,
         ]
+    }
+}
+
+impl VocBatch for Teg {
+    fn voc_lanes(&self, envs: &[EnvConditions], out: &mut [f64]) {
+        assert_eq!(envs.len(), out.len());
+        // The Voc is closed-form (Seebeck × junction ΔT); the batched
+        // lane is the scalar expression per lane, trivially bit-identical.
+        for (slot, env) in out.iter_mut().zip(envs) {
+            *slot = self.source(env).voc.value();
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! The [`Transducer`] trait: a harvester seen as a voltage-dependent
 //! current source, with derived operating-point analysis.
 
+use crate::batch::VocBatch;
 use crate::cache::SolveCache;
 use crate::kind::HarvesterKind;
 use mseh_env::EnvConditions;
@@ -74,6 +75,17 @@ pub trait Transducer: Send + Sync {
     /// [`solve_cache`](Self::solve_cache).
     fn env_signature(&self, _env: &EnvConditions) -> [u64; 4] {
         [0; 4]
+    }
+
+    /// The harvester's batched open-circuit-voltage kernel, when it has
+    /// one. Lanes produced through it are bit-identical to
+    /// [`open_circuit_voltage`](Self::open_circuit_voltage) but bypass
+    /// the solve cache; the fleet engine's struct-of-arrays tier only
+    /// engages for harvesters that return `Some`. Wrappers that perturb
+    /// the inner device's output (fault injection, degradation) must NOT
+    /// forward the inner kernel.
+    fn voc_batch(&self) -> Option<&dyn VocBatch> {
+        None
     }
 
     /// Whether this harvester's output is a pure function of the sensed

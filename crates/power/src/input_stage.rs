@@ -2,7 +2,7 @@
 //! controller and front-end converter between one harvester and the
 //! storage bus.
 
-use crate::mppt::OperatingPointController;
+use crate::mppt::{OperatingPointController, WindowChoice};
 use crate::stage::PowerStage;
 use mseh_env::EnvConditions;
 use mseh_harvesters::{CacheStats, Transducer};
@@ -76,6 +76,10 @@ pub struct InputChannel {
     memo_hits: u64,
     memo_misses: u64,
     memo_invalidations: u64,
+    /// Scratch for batched window solves: per-lane open-circuit voltages.
+    lane_voc: Vec<f64>,
+    /// Scratch for batched window solves: quantized-tier snapshots.
+    lane_env: Vec<EnvConditions>,
 }
 
 /// One memoised channel step. Replaying it is sound only when the
@@ -106,6 +110,8 @@ impl InputChannel {
             memo_hits: 0,
             memo_misses: 0,
             memo_invalidations: 0,
+            lane_voc: Vec::new(),
+            lane_env: Vec::new(),
         }
     }
 
@@ -366,6 +372,14 @@ impl InputChannel {
         let v_op = self
             .controller
             .choose_voltage(self.harvester.as_ref(), env, dt);
+        self.finish_step(v_op, env)
+    }
+
+    /// Completes a step whose operating voltage is already chosen — the
+    /// post-controller half of [`solve_step`](Self::solve_step), shared
+    /// verbatim by the scalar path and the batched window lanes so the
+    /// two stay bit-identical by construction.
+    fn finish_step(&self, v_op: Volts, env: &EnvConditions) -> HarvestStep {
         if v_op.value() <= 0.0 {
             // Dead source: the channel sleeps; only converter housekeeping
             // persists (controllers gate themselves off).
@@ -385,6 +399,124 @@ impl InputChannel {
             overhead: self.controller.overhead()
                 + self.converter.quiescent()
                 + self.protection.quiescent(),
+        }
+    }
+
+    /// Whether [`window_lanes`](Self::window_lanes) can stand in for
+    /// per-node [`step`](Self::step) calls at width `dt`: the chain must
+    /// be replayable (cache on, every block time-invariant) *and* the
+    /// controller must state a source-free [`WindowChoice`] — with a
+    /// batch Voc kernel on the harvester when that choice needs one.
+    pub fn supports_window_lanes(&self, dt: Seconds) -> bool {
+        let batchable = match self.controller.window_choice(dt) {
+            Some(WindowChoice::FractionOfVoc(_)) => self.harvester.voc_batch().is_some(),
+            Some(WindowChoice::Fixed(_)) => true,
+            None => false,
+        };
+        batchable
+            && self.cache_enabled
+            && self.harvester.is_time_invariant()
+            && self.protection.is_time_invariant()
+            && self.converter.is_time_invariant()
+    }
+
+    /// Quantized-tier staging for the batched lanes: fills
+    /// `self.lane_env` with truncated snapshots when the quantized tier
+    /// is active (the solves then run against those, exactly as the
+    /// scalar memo path solves the truncated snapshot).
+    fn stage_lane_envs(&mut self, envs: &[EnvConditions]) {
+        if let Some(bits) = self.quantize_drop_bits {
+            self.lane_env.clear();
+            self.lane_env
+                .extend(envs.iter().map(|e| e.quantize_mantissa(bits)));
+        }
+    }
+
+    /// One control window for a whole population: writes into `out[i]`
+    /// exactly the [`HarvestStep`] a replayable per-node channel's
+    /// [`step`](Self::step) would return for `envs[i]` at width `dt`,
+    /// solving the operating points in one struct-of-arrays pass. The
+    /// fraction-of-Voc rule batches through the harvester's
+    /// [`voc_batch`](mseh_harvesters::Transducer::voc_batch) kernel, so
+    /// every lane is bit-identical to the scalar solve; memo counters
+    /// are not consulted or booked (the caller accounts for the lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ or the channel does not
+    /// [`support`](Self::supports_window_lanes) width `dt`.
+    pub fn window_lanes(&mut self, envs: &[EnvConditions], dt: Seconds, out: &mut [HarvestStep]) {
+        assert_eq!(envs.len(), out.len());
+        let choice = self
+            .controller
+            .window_choice(dt)
+            .expect("window_lanes requires a source-free window choice");
+        // Mirror the per-window `step` call the scalar driver makes.
+        self.protection.advance(dt);
+        self.converter.advance(dt);
+        self.stage_lane_envs(envs);
+        match choice {
+            WindowChoice::Fixed(v) => {
+                let staged: &[EnvConditions] = if self.quantize_drop_bits.is_some() {
+                    &self.lane_env
+                } else {
+                    envs
+                };
+                for (slot, env) in out.iter_mut().zip(staged) {
+                    *slot = self.finish_step(v, env);
+                }
+            }
+            WindowChoice::FractionOfVoc(k) => {
+                let mut lane_voc = core::mem::take(&mut self.lane_voc);
+                lane_voc.resize(envs.len(), 0.0);
+                let staged: &[EnvConditions] = if self.quantize_drop_bits.is_some() {
+                    &self.lane_env
+                } else {
+                    envs
+                };
+                self.harvester
+                    .voc_batch()
+                    .expect("FractionOfVoc windows require a harvester batch kernel")
+                    .voc_lanes(staged, &mut lane_voc);
+                for i in 0..staged.len() {
+                    // Same arithmetic as the scalar `Voc * k` in FOCV.
+                    let v_op = Volts::new(lane_voc[i]) * k;
+                    out[i] = self.finish_step(v_op, &staged[i]);
+                }
+                self.lane_voc = lane_voc;
+            }
+        }
+    }
+
+    /// The fractional closer step for a whole population: a step of width
+    /// `frac` shorter than the control window. Where the controller's
+    /// [`WindowChoice`] still resolves at this width the step is just a
+    /// narrow window; otherwise each lane holds `held[i]` — its own
+    /// previous window's operating voltage — exactly as the scalar
+    /// controller's stale-hold contract does. The hold path runs against
+    /// the raw snapshots (the scalar fractional step bypasses the memo
+    /// and its quantized tier entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn frac_lanes(
+        &mut self,
+        envs: &[EnvConditions],
+        held: &[Volts],
+        frac: Seconds,
+        out: &mut [HarvestStep],
+    ) {
+        assert_eq!(envs.len(), held.len());
+        assert_eq!(envs.len(), out.len());
+        if self.controller.window_choice(frac).is_some() {
+            self.window_lanes(envs, frac, out);
+            return;
+        }
+        self.protection.advance(frac);
+        self.converter.advance(frac);
+        for i in 0..envs.len() {
+            out[i] = self.finish_step(held[i], &envs[i]);
         }
     }
 }
@@ -664,6 +796,151 @@ mod tests {
         let hits_before = ch.kernel_cache_stats().hits;
         ch.step(&env, Seconds::new(1.0));
         assert_eq!(ch.kernel_cache_stats().hits, hits_before);
+    }
+
+    #[test]
+    fn window_lanes_match_fresh_scalar_channels_bitwise() {
+        use crate::mppt::FractionalVoc;
+        let dt = Seconds::new(60.0);
+        // A spread of windows including a dark lane (dead-source branch).
+        let envs: Vec<EnvConditions> = (0..9)
+            .map(|i| {
+                let mut env = EnvConditions::quiescent(Seconds::new(60.0 * i as f64));
+                if i != 4 {
+                    env.irradiance = WattsPerSqM::new(120.0 * i as f64 + 35.0);
+                }
+                env
+            })
+            .collect();
+        let builds: [fn() -> InputChannel; 2] = [
+            || pv_channel(Box::new(FractionalVoc::pv_standard())),
+            || pv_channel(Box::new(FixedPoint::new(Volts::new(3.0)))),
+        ];
+        for build in builds {
+            let mut batched = build();
+            assert!(batched.supports_window_lanes(dt));
+            let mut out = vec![HarvestStep::default(); envs.len()];
+            batched.window_lanes(&envs, dt, &mut out);
+            for (i, env) in envs.iter().enumerate() {
+                // Each lane must equal a fresh replayable channel's first
+                // window step on that lane's environment.
+                let scalar = build().step(env, dt);
+                assert_eq!(out[i], scalar, "lane {i}");
+            }
+            // The batch pass books nothing: the caller owns the counters.
+            assert_eq!(batched.memo_stats().hits + batched.memo_stats().misses, 0);
+        }
+    }
+
+    #[test]
+    fn frac_lanes_hold_matches_scalar_fractional_step_bitwise() {
+        use crate::mppt::FractionalVoc;
+        let dt = Seconds::new(60.0);
+        let frac = Seconds::new(7.5); // below the 30 s FOCV interval
+        let window_envs: Vec<EnvConditions> = (0..5)
+            .map(|i| {
+                let mut env = EnvConditions::quiescent(Seconds::new(60.0 * i as f64));
+                if i != 2 {
+                    env.irradiance = WattsPerSqM::new(700.0 - 90.0 * i as f64);
+                }
+                env
+            })
+            .collect();
+        // Conditions shift before the closer step; FOCV must keep holding.
+        let frac_envs: Vec<EnvConditions> = window_envs
+            .iter()
+            .map(|e| {
+                let mut env = *e;
+                env.irradiance = WattsPerSqM::new(e.irradiance.value() * 0.5);
+                env
+            })
+            .collect();
+        let build = || pv_channel(Box::new(FractionalVoc::pv_standard()));
+        let mut batched = build();
+        let mut window = vec![HarvestStep::default(); window_envs.len()];
+        batched.window_lanes(&window_envs, dt, &mut window);
+        let held: Vec<Volts> = window.iter().map(|hs| hs.operating_voltage).collect();
+        let mut out = vec![HarvestStep::default(); window_envs.len()];
+        batched.frac_lanes(&frac_envs, &held, frac, &mut out);
+        for i in 0..window_envs.len() {
+            let mut scalar = build();
+            let w = scalar.step(&window_envs[i], dt);
+            assert_eq!(w, window[i], "lane {i} window");
+            let f = scalar.step(&frac_envs[i], frac);
+            assert_eq!(f, out[i], "lane {i} closer");
+            if window_envs[i].irradiance.value() > 0.0 {
+                assert_eq!(f.operating_voltage, w.operating_voltage, "hold broken");
+            }
+        }
+        // A closer step spanning the interval resamples instead.
+        let wide = Seconds::new(45.0);
+        let mut resampled = vec![HarvestStep::default(); window_envs.len()];
+        batched.frac_lanes(&frac_envs, &held, wide, &mut resampled);
+        for i in 0..window_envs.len() {
+            let mut scalar = build();
+            scalar.step(&window_envs[i], dt);
+            assert_eq!(scalar.step(&frac_envs[i], wide), resampled[i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn quantized_window_lanes_solve_the_truncated_snapshots() {
+        let bits = 44;
+        let dt = Seconds::new(60.0);
+        let envs: Vec<EnvConditions> = (0..6)
+            .map(|i| {
+                let mut env = EnvConditions::quiescent(Seconds::new(60.0 * i as f64));
+                env.irradiance = WattsPerSqM::new(641.987 + 0.013 * i as f64);
+                env
+            })
+            .collect();
+        let build = || pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        let mut batched = build();
+        batched.set_cache_quantization(Some(bits));
+        let mut out = vec![HarvestStep::default(); envs.len()];
+        batched.window_lanes(&envs, dt, &mut out);
+        for (i, env) in envs.iter().enumerate() {
+            let mut scalar = build();
+            scalar.set_cache_enabled(false);
+            assert_eq!(
+                scalar.step(&env.quantize_mantissa(bits), dt),
+                out[i],
+                "lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_lane_support_requires_batchable_chain() {
+        use crate::mppt::FractionalVoc;
+        let dt = Seconds::new(60.0);
+        // P&O has no source-free window rule.
+        assert!(!pv_channel(Box::new(PerturbObserve::new())).supports_window_lanes(dt));
+        // FOCV below its sample interval holds hidden state.
+        let focv = pv_channel(Box::new(FractionalVoc::pv_standard()));
+        assert!(!focv.supports_window_lanes(Seconds::new(1.0)));
+        assert!(focv.supports_window_lanes(dt));
+        // FOCV over a harvester without a batch Voc kernel cannot batch.
+        let no_kernel = InputChannel::new(
+            Box::new(mseh_harvesters::Rectenna::rectenna_915mhz()),
+            Box::new(FractionalVoc::thevenin_standard()),
+            Box::new(IdealDiode::nanopower()),
+            Box::new(DcDcConverter::mppt_front_end_5v()),
+        );
+        assert!(!no_kernel.supports_window_lanes(dt));
+        // A disabled kernel cache disables the batched lane with it.
+        let mut disabled = pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        disabled.set_cache_enabled(false);
+        assert!(!disabled.supports_window_lanes(dt));
+        // Time-varying stages (scheduled brownouts) break replayability.
+        let mut wrapped = pv_channel(Box::new(FixedPoint::new(Volts::new(3.0))));
+        wrapped.wrap_converter(|inner| {
+            Box::new(crate::BrownoutConverter::new(
+                inner,
+                vec![(Seconds::from_hours(1.0), Seconds::from_hours(1.1))],
+            ))
+        });
+        assert!(!wrapped.supports_window_lanes(dt));
     }
 
     #[test]

@@ -62,5 +62,6 @@ pub use ldo::LinearRegulator;
 pub use ledger::{LedgerEntry, QuiescentLedger};
 pub use mppt::{
     FixedPoint, FractionalVoc, OperatingPointController, PerturbObserve, TrackingStrategy,
+    WindowChoice,
 };
 pub use stage::PowerStage;

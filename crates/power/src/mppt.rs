@@ -35,6 +35,19 @@ impl fmt::Display for TrackingStrategy {
     }
 }
 
+/// The environment-pure operating-point rule a controller applies over
+/// one control window, stated without a live source in hand — the
+/// contract the batched fleet lanes drive instead of per-node
+/// [`choose_voltage`](OperatingPointController::choose_voltage) calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowChoice {
+    /// Hold this fraction of the lane's own open-circuit voltage,
+    /// resampled from the lane's environment at the window boundary.
+    FractionOfVoc(f64),
+    /// Hold a constant voltage regardless of environment.
+    Fixed(Volts),
+}
+
 /// Chooses the harvester operating voltage each simulation step.
 ///
 /// Implementations are stateful (trackers remember their last point) and
@@ -82,6 +95,19 @@ pub trait OperatingPointController: Send + Sync {
     /// returned `true` for the same `dt`. Default: stateless, nothing to
     /// restore.
     fn reuse_voltage(&mut self, _held: Volts, _dt: Seconds) {}
+
+    /// The source-free rule an env-pure `choose_voltage` call of width
+    /// `dt` applies from the replayable steady state, if one exists —
+    /// `None` (the default) for controllers whose choice depends on
+    /// hidden history. A `Some` answer lets the fleet's batched dense
+    /// lane compute every member node's operating voltage in one
+    /// struct-of-arrays pass; for widths where this returns `None`, a
+    /// batchable controller must hold its previous window's voltage
+    /// unchanged (the FOCV mid-interval contract), so the caller can
+    /// carry it forward per lane.
+    fn window_choice(&self, _dt: Seconds) -> Option<WindowChoice> {
+        None
+    }
 }
 
 /// Digital perturb-and-observe tracker.
@@ -292,6 +318,14 @@ impl OperatingPointController for FractionalVoc {
         self.since_sample = Seconds::ZERO;
         self.held = held;
     }
+
+    fn window_choice(&self, dt: Seconds) -> Option<WindowChoice> {
+        // Steps at least as long as the interval resample on every call
+        // (the same condition `is_env_pure` checks from the steady
+        // state); shorter widths return the stale `held`, which the
+        // batched caller carries per lane.
+        (dt >= self.sample_interval).then_some(WindowChoice::FractionOfVoc(self.k))
+    }
 }
 
 /// A fixed operating voltage: zero tracking overhead, zero adaptivity —
@@ -342,6 +376,10 @@ impl OperatingPointController for FixedPoint {
     fn is_env_pure(&self, _dt: Seconds) -> bool {
         // Stateless and constant: trivially replayable.
         true
+    }
+
+    fn window_choice(&self, _dt: Seconds) -> Option<WindowChoice> {
+        Some(WindowChoice::Fixed(self.v))
     }
 }
 
@@ -484,6 +522,30 @@ mod tests {
         assert!(focv.is_env_pure(dt));
         // … and impure for steps shorter than the sample interval.
         assert!(!focv.is_env_pure(Seconds::new(1.0)));
+    }
+
+    #[test]
+    fn window_choice_mirrors_env_purity() {
+        let dt = Seconds::new(60.0);
+        // Fixed point: a constant rule at any width.
+        assert_eq!(
+            FixedPoint::new(Volts::new(2.0)).window_choice(dt),
+            Some(WindowChoice::Fixed(Volts::new(2.0)))
+        );
+        // P&O: hidden history, never batchable.
+        assert_eq!(PerturbObserve::new().window_choice(dt), None);
+        // FOCV: the resampling rule for widths spanning the interval,
+        // hold (None) below it.
+        let focv = FractionalVoc::pv_standard();
+        assert_eq!(
+            focv.window_choice(dt),
+            Some(WindowChoice::FractionOfVoc(0.76))
+        );
+        assert_eq!(
+            focv.window_choice(Seconds::new(30.0)),
+            Some(WindowChoice::FractionOfVoc(0.76))
+        );
+        assert_eq!(focv.window_choice(Seconds::new(1.0)), None);
     }
 
     #[test]

@@ -50,6 +50,17 @@
 //! [`mseh_core::PowerUnit`] in a boxed [`FleetGroup`] — the tests assert
 //! it — the lane only removes redundant work, never changes arithmetic.
 //!
+//! Supercap dense groups additionally step on a **batched
+//! struct-of-arrays tier** ([`DenseSolveTier`]): contiguous runs of
+//! member nodes become lanes of one [`mseh_storage::SupercapLanes`]
+//! population, and the per-step energy→voltage Newton inversions run as
+//! masked fixed-iteration passes over contiguous `f64` arrays instead of
+//! one call per node. The batch kernels replicate the scalar iterate
+//! sequence exactly (see [`mseh_units::BatchSolve`]), so the batched
+//! tier is bit-identical to the scalar one; an opt-in interpolation tier
+//! trades exact voltages for a table lookup with a recorded deviation
+//! bound ([`FleetSummary::interp_max_deviation`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -104,6 +115,8 @@ use mseh_power::{DcDcConverter, HarvestStep, InputChannel, PowerStage};
 use mseh_storage::{Battery, Storage, Supercap};
 use mseh_units::{Joules, Ratio, Seconds, Volts, Watts};
 
+mod dense_lanes;
+
 /// Stream on each group's seed from which per-node seeds are drawn
 /// (disjoint from the environment's reserved streams and the jitter
 /// streams 100+, which run on the *node* seed).
@@ -121,6 +134,39 @@ pub enum EnvCadence {
     /// caches replay the window's first operating-point solve for the
     /// remaining steps.
     PerWindow,
+}
+
+/// How the dense lane solves its per-node storage updates.
+///
+/// [`Scalar`](Self::Scalar) and [`Batched`](Self::Batched) are
+/// bit-identical by contract: the batch kernels replicate the scalar
+/// iterate sequence under a convergence mask instead of inventing a new
+/// numerical scheme (see [`mseh_units::BatchSolve`]), and the tests
+/// assert full [`FleetSummary`] equality between the tiers.
+/// [`Interpolated`](Self::Interpolated) trades exact supercap voltages
+/// for a per-run interpolation table sampled from the exact solver; its
+/// recorded worst-case voltage deviation surfaces as
+/// [`FleetSummary::interp_max_deviation`], and the conservation audit
+/// still closes exactly (table residuals are charged to losses).
+///
+/// The tier only affects supercap [`DenseGroup`]s; battery dense groups
+/// and boxed [`FleetGroup`]s always step scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseSolveTier {
+    /// Per-node scalar [`mseh_storage::Storage`] calls — the reference
+    /// path.
+    Scalar,
+    /// Struct-of-arrays Newton passes over contiguous lanes (fixed
+    /// iteration schedule under a convergence mask, no per-node early
+    /// exit). Bit-identical to [`Scalar`](Self::Scalar).
+    Batched,
+    /// Batched stepping with the supercap energy→voltage inversion
+    /// replaced by a per-run interpolation table.
+    Interpolated {
+        /// Number of equally-spaced energy knots (min 2); deviation
+        /// shrinks quadratically with the count.
+        samples: usize,
+    },
 }
 
 /// Builds one node's platform from its per-node seed.
@@ -456,6 +502,10 @@ pub struct FleetConfig {
     /// How many worst-uptime nodes to list in
     /// [`FleetSummary::stragglers`].
     pub stragglers: usize,
+    /// Solve tier for supercap dense groups (default
+    /// [`DenseSolveTier::Batched`], bit-identical to
+    /// [`DenseSolveTier::Scalar`]).
+    pub dense_tier: DenseSolveTier,
 }
 
 impl FleetConfig {
@@ -471,6 +521,7 @@ impl FleetConfig {
             quantize_drop_bits: None,
             keep_node_results: false,
             stragglers: 8,
+            dense_tier: DenseSolveTier::Batched,
         }
     }
 
@@ -490,6 +541,12 @@ impl FleetConfig {
     /// Sets the shard width in nodes.
     pub fn with_shard_size(mut self, shard_size: usize) -> Self {
         self.shard_size = shard_size;
+        self
+    }
+
+    /// Sets the dense-lane solve tier.
+    pub fn with_dense_tier(mut self, tier: DenseSolveTier) -> Self {
+        self.dense_tier = tier;
         self
     }
 }
@@ -575,6 +632,11 @@ pub struct FleetSummary {
     /// Kernel-cache counters summed across all node platforms. Cache
     /// state never crosses nodes, so these are deterministic too.
     pub kernel_cache: CacheStats,
+    /// Worst interpolation-table voltage deviation recorded by any
+    /// batched run (`0` unless [`DenseSolveTier::Interpolated`] is
+    /// active): the maximum |exact − interpolated| terminal voltage
+    /// probed when each run's table was built.
+    pub interp_max_deviation: f64,
     /// The `config.stragglers` worst-uptime nodes, worst first (ties by
     /// node index).
     pub stragglers: Vec<Straggler>,
@@ -672,6 +734,7 @@ struct NodeOutcome {
     throughput: f64,
     stranded: Joules,
     cache: CacheStats,
+    interp_deviation: f64,
 }
 
 impl NodeOutcome {
@@ -819,6 +882,7 @@ fn simulate_node(
         throughput,
         stranded: platform.stranded_energy(),
         cache: platform.kernel_cache_stats(),
+        interp_deviation: 0.0,
     }
 }
 
@@ -1088,6 +1152,7 @@ fn simulate_node_dense<S: Storage + Clone>(
         throughput,
         stranded: Joules::ZERO,
         cache,
+        interp_deviation: 0.0,
     }
 }
 
@@ -1170,6 +1235,27 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
         })
         .collect();
 
+    // Supercap dense groups step on the struct-of-arrays batched tier
+    // unless the config pins `Scalar`. Unjittered groups always qualify
+    // (their lanes replay the shared harvest table); jittered groups
+    // need a window-batchable channel under per-window cadence — probed
+    // once per group — and otherwise fall back to the scalar dense path.
+    let batched: Vec<bool> = spec
+        .groups
+        .iter()
+        .map(|entry| match entry {
+            GroupEntry::Dense(g)
+                if matches!(g.store, DenseStore::Supercap(_))
+                    && config.dense_tier != DenseSolveTier::Scalar =>
+            {
+                g.jitter.is_none()
+                    || (plan.cadence == EnvCadence::PerWindow
+                        && (g.channel)().supports_window_lanes(plan.dt))
+            }
+            _ => false,
+        })
+        .collect();
+
     let shard_size = if config.shard_size == 0 {
         1024
     } else {
@@ -1192,85 +1278,115 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
         // First group containing `lo`, advanced linearly as the shard
         // walks the global index range.
         let mut gi = spans.partition_point(|&(_, end)| end <= lo);
-        for n in lo..hi {
-            while spans[gi].1 <= n {
+        let mut cursor = lo;
+        while cursor < hi {
+            while spans[gi].1 <= cursor {
                 gi += 1;
             }
-            let within = n - spans[gi].0;
-            match &spec.groups[gi] {
-                GroupEntry::Boxed(g) => {
-                    let node_seed = Noise::new(g.seed).bits(NODE_SEED_STREAM, within);
-                    let factors = JitterFactors::derive(g.jitter, node_seed);
-                    let jittered = !g.jitter.is_none();
-                    let mut platform = (g.platform)(node_seed);
-                    let mut policy = (g.policy)(node_seed);
-                    if plan.quantize_drop_bits.is_some() {
-                        platform.set_kernel_cache_quantization(plan.quantize_drop_bits);
+            let run_end = hi.min(spans[gi].1);
+            // Batched struct-of-arrays tier: the shard's contiguous run
+            // of this supercap dense group steps as one lane population.
+            // Run composition never changes results — every lane's
+            // arithmetic is independent of its companions — so shard and
+            // thread geometry stay bit-irrelevant.
+            if batched[gi] {
+                if let GroupEntry::Dense(g) = &spec.groups[gi] {
+                    if let DenseStore::Supercap(template) = &g.store {
+                        dense_lanes::simulate_supercap_run(
+                            g,
+                            template,
+                            spans[gi].0,
+                            cursor,
+                            run_end,
+                            &tables[g.site],
+                            dense_tables[gi].as_ref().map(|(t, _)| t.as_slice()),
+                            &plan,
+                            config.dense_tier,
+                            &mut out,
+                        );
+                        cursor = run_end;
+                        continue;
                     }
-                    out.push(simulate_node(
-                        platform.as_mut(),
-                        &g.node,
-                        policy.as_mut(),
-                        &tables[g.site],
-                        &factors,
-                        jittered,
-                        &plan,
-                    ));
-                }
-                GroupEntry::Dense(g) => {
-                    let node_seed = Noise::new(g.seed).bits(NODE_SEED_STREAM, within);
-                    let mut policy = (g.policy)(node_seed);
-                    // Per-node cache view: table reads beyond the
-                    // driver's own calls are replays of memoized solves.
-                    let mut cache = CacheStats::default();
-                    let mut calls = 0u64;
-                    let table: &[HarvestStep] = match &dense_tables[gi] {
-                        Some((table, _)) => table,
-                        None => {
-                            let factors = JitterFactors::derive(g.jitter, node_seed);
-                            let mut channel = (g.channel)();
-                            if plan.quantize_drop_bits.is_some() {
-                                channel.set_cache_quantization(plan.quantize_drop_bits);
-                            }
-                            calls = build_harvest_table(
-                                &mut channel,
-                                &tables[g.site],
-                                &factors,
-                                true,
-                                &plan,
-                                &mut scratch,
-                            );
-                            cache = channel.kernel_cache_stats();
-                            &scratch
-                        }
-                    };
-                    cache.hits += plan.steps - calls;
-                    out.push(match &g.store {
-                        DenseStore::Supercap(s) => simulate_node_dense(
-                            s,
-                            &g.output,
-                            g.supervisor_overhead,
-                            g.monitoring,
-                            &g.node,
-                            policy.as_mut(),
-                            table,
-                            &plan,
-                            cache,
-                        ),
-                        DenseStore::Battery(b) => simulate_node_dense(
-                            b,
-                            &g.output,
-                            g.supervisor_overhead,
-                            g.monitoring,
-                            &g.node,
-                            policy.as_mut(),
-                            table,
-                            &plan,
-                            cache,
-                        ),
-                    });
                 }
             }
+            for n in cursor..run_end {
+                let within = n - spans[gi].0;
+                match &spec.groups[gi] {
+                    GroupEntry::Boxed(g) => {
+                        let node_seed = Noise::new(g.seed).bits(NODE_SEED_STREAM, within);
+                        let factors = JitterFactors::derive(g.jitter, node_seed);
+                        let jittered = !g.jitter.is_none();
+                        let mut platform = (g.platform)(node_seed);
+                        let mut policy = (g.policy)(node_seed);
+                        if plan.quantize_drop_bits.is_some() {
+                            platform.set_kernel_cache_quantization(plan.quantize_drop_bits);
+                        }
+                        out.push(simulate_node(
+                            platform.as_mut(),
+                            &g.node,
+                            policy.as_mut(),
+                            &tables[g.site],
+                            &factors,
+                            jittered,
+                            &plan,
+                        ));
+                    }
+                    GroupEntry::Dense(g) => {
+                        let node_seed = Noise::new(g.seed).bits(NODE_SEED_STREAM, within);
+                        let mut policy = (g.policy)(node_seed);
+                        // Per-node cache view: table reads beyond the
+                        // driver's own calls are replays of memoized solves.
+                        let mut cache = CacheStats::default();
+                        let mut calls = 0u64;
+                        let table: &[HarvestStep] = match &dense_tables[gi] {
+                            Some((table, _)) => table,
+                            None => {
+                                let factors = JitterFactors::derive(g.jitter, node_seed);
+                                let mut channel = (g.channel)();
+                                if plan.quantize_drop_bits.is_some() {
+                                    channel.set_cache_quantization(plan.quantize_drop_bits);
+                                }
+                                calls = build_harvest_table(
+                                    &mut channel,
+                                    &tables[g.site],
+                                    &factors,
+                                    true,
+                                    &plan,
+                                    &mut scratch,
+                                );
+                                cache = channel.kernel_cache_stats();
+                                &scratch
+                            }
+                        };
+                        cache.hits += plan.steps - calls;
+                        out.push(match &g.store {
+                            DenseStore::Supercap(s) => simulate_node_dense(
+                                s,
+                                &g.output,
+                                g.supervisor_overhead,
+                                g.monitoring,
+                                &g.node,
+                                policy.as_mut(),
+                                table,
+                                &plan,
+                                cache,
+                            ),
+                            DenseStore::Battery(b) => simulate_node_dense(
+                                b,
+                                &g.output,
+                                g.supervisor_overhead,
+                                g.monitoring,
+                                &g.node,
+                                policy.as_mut(),
+                                table,
+                                &plan,
+                                cache,
+                            ),
+                        });
+                    }
+                }
+            }
+            cursor = run_end;
         }
         out
     };
@@ -1289,6 +1405,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
     let mut worst_node_audit = 0.0f64;
     let mut min_v = Volts::new(f64::INFINITY);
     let mut neutral = 0u64;
+    let mut interp_max_deviation = 0.0f64;
     let mut cache = CacheStats::default();
     let mut uptimes: Vec<f64> = Vec::with_capacity(population as usize);
     let mut node_results = config
@@ -1307,6 +1424,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
         worst_node_audit = worst_node_audit.max(outcome.audit_residual);
         min_v = min_v.min(outcome.min_store_voltage);
         neutral += u64::from(outcome.brownout_steps == 0);
+        interp_max_deviation = interp_max_deviation.max(outcome.interp_deviation);
         cache.hits += outcome.cache.hits;
         cache.misses += outcome.cache.misses;
         cache.invalidations += outcome.cache.invalidations;
@@ -1393,6 +1511,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
             audit_relative,
             worst_node_audit,
             kernel_cache: cache,
+            interp_max_deviation,
             stragglers,
         },
         node_results,

@@ -1,0 +1,379 @@
+//! Struct-of-arrays stepping for contiguous runs of supercap dense
+//! nodes.
+//!
+//! A shard-local run of one [`DenseGroup`]'s members becomes a lane
+//! population: voltages, losses and staged energy targets live in
+//! contiguous `Vec<f64>`s ([`SupercapLanes`]) and the per-step
+//! energy→voltage Newton inversions execute as masked fixed-iteration
+//! passes over all lanes at once, instead of one `Storage` call per
+//! node. Harvest solves batch the same way: un-jittered runs replay the
+//! group-wide harvest table, jittered runs drive the group channel's
+//! [`mseh_power::InputChannel::window_lanes`] once per control window
+//! across every lane's jittered snapshot.
+//!
+//! # Bit-identity
+//!
+//! Every pass replicates the scalar path's exact arithmetic — same
+//! operation order, same guard branches, same accumulator sequence as
+//! [`simulate_node_dense`](super::simulate_node_dense) — and each
+//! lane's iterates are independent of its companions, so the result is
+//! bit-identical to the scalar tier *and* independent of how shards
+//! split a group into runs. The fleet tests assert both.
+
+use super::{DenseGroup, DenseSolveTier, NodeOutcome, StepPlan, NODE_SEED_STREAM};
+use mseh_env::rng::Noise;
+use mseh_env::{EnvConditions, JitterFactors};
+use mseh_harvesters::CacheStats;
+use mseh_node::EnergyStatus;
+use mseh_power::{HarvestStep, PowerStage};
+use mseh_storage::{Storage, Supercap, SupercapLanes};
+use mseh_units::{DutyCycle, Joules, Ratio, Volts, Watts};
+
+/// Per-lane running totals, mirroring `simulate_node_dense`'s locals.
+struct LaneAcc {
+    samples: f64,
+    harvested: Joules,
+    delivered: Joules,
+    shortfall: Joules,
+    demanded: Joules,
+    charged: Joules,
+    discharged: Joules,
+    brownout_steps: u64,
+    outage_run: u64,
+    longest_outage: u64,
+    converter_losses: Joules,
+    min_v: Volts,
+    last_harvest: Watts,
+}
+
+impl LaneAcc {
+    fn new() -> Self {
+        Self {
+            samples: 0.0,
+            harvested: Joules::ZERO,
+            delivered: Joules::ZERO,
+            shortfall: Joules::ZERO,
+            demanded: Joules::ZERO,
+            charged: Joules::ZERO,
+            discharged: Joules::ZERO,
+            brownout_steps: 0,
+            outage_run: 0,
+            longest_outage: 0,
+            converter_losses: Joules::ZERO,
+            min_v: Volts::new(f64::INFINITY),
+            last_harvest: Watts::ZERO,
+        }
+    }
+}
+
+/// Steps global nodes `lo..hi` of supercap dense group `g` as one lane
+/// population, pushing their [`NodeOutcome`]s onto `out` in node order.
+///
+/// `shared` is the group-wide harvest table for un-jittered groups
+/// (cache counters are synthesized exactly as the scalar dense path
+/// does: every table read is a replay). Jittered runs build a group
+/// channel and drive it once per window over per-lane jittered
+/// snapshots; the caller has verified
+/// [`mseh_power::InputChannel::supports_window_lanes`] for the plan's
+/// `dt`.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn simulate_supercap_run(
+    g: &DenseGroup,
+    template: &Supercap,
+    group_start: u64,
+    lo: u64,
+    hi: u64,
+    rows: &[EnvConditions],
+    shared: Option<&[HarvestStep]>,
+    plan: &StepPlan,
+    tier: DenseSolveTier,
+    out: &mut Vec<NodeOutcome>,
+) {
+    let lanes_n = (hi - lo) as usize;
+    let node_seed = |i: usize| {
+        let within = lo - group_start + i as u64;
+        Noise::new(g.seed).bits(NODE_SEED_STREAM, within)
+    };
+
+    let mut lanes = SupercapLanes::from_template(template, lanes_n);
+    let interp_deviation = match tier {
+        DenseSolveTier::Interpolated { samples } => lanes.set_interpolation(samples),
+        _ => 0.0,
+    };
+    let cap = template.capacity();
+    let recognized = cap;
+    let initial_stored = template.stored_energy().value();
+    let initial_losses = template.losses().value();
+
+    let mut policies: Vec<_> = (0..lanes_n).map(|i| (g.policy)(node_seed(i))).collect();
+    let mut acc: Vec<LaneAcc> = (0..lanes_n).map(|_| LaneAcc::new()).collect();
+
+    // Jittered runs drive the group channel once per window over every
+    // lane's jittered snapshot; the per-lane factors replicate the
+    // scalar path's per-node derivation.
+    let mut channel = if shared.is_none() {
+        let mut ch = (g.channel)();
+        if plan.quantize_drop_bits.is_some() {
+            ch.set_cache_quantization(plan.quantize_drop_bits);
+        }
+        Some(ch)
+    } else {
+        None
+    };
+    let factors: Vec<JitterFactors> = if shared.is_none() {
+        (0..lanes_n)
+            .map(|i| JitterFactors::derive(g.jitter, node_seed(i)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut jenvs: Vec<EnvConditions> = Vec::new();
+    let mut whs: Vec<HarvestStep> = vec![HarvestStep::default(); lanes_n];
+    let mut fhs: Vec<HarvestStep> = vec![HarvestStep::default(); lanes_n];
+    // Each lane's current window operating voltage, held across the
+    // fractional closer exactly as a scalar controller holds its last
+    // resample.
+    let mut held: Vec<Volts> = vec![Volts::ZERO; lanes_n];
+    // Channel solves per node (identical for every lane of the run);
+    // the remaining `plan.steps − calls` harvest reads are replays.
+    let mut calls = 0u64;
+
+    // Per-window scratch from the policy prologue.
+    let mut duties: Vec<DutyCycle> = vec![DutyCycle::ZERO; lanes_n];
+    let mut loads: Vec<Watts> = vec![Watts::ZERO; lanes_n];
+    let mut wsamples: Vec<f64> = vec![0.0; lanes_n];
+    // Per-step staging for the batched store transfer.
+    let mut charge_w = vec![0.0f64; lanes_n];
+    let mut discharge_w = vec![0.0f64; lanes_n];
+    let mut charged_o = vec![0.0f64; lanes_n];
+    let mut discharged_o = vec![0.0f64; lanes_n];
+    let mut deficit_l = vec![Joules::ZERO; lanes_n];
+    let mut e_load_in_l = vec![Joules::ZERO; lanes_n];
+    let mut servable_l = vec![true; lanes_n];
+
+    let mut window_ordinal = 0usize;
+    let mut window_start = 0u64;
+    while window_start < plan.steps {
+        let window_end = (window_start + plan.control_every).min(plan.steps);
+
+        // Policy prologue, per lane: the exact `EnergyStatus` the scalar
+        // dense path composes from its store.
+        for i in 0..lanes_n {
+            let soc_actual = if cap.value() > 0.0 {
+                lanes.stored_energy(i) / cap.value()
+            } else {
+                0.0
+            };
+            let status = EnergyStatus::full(
+                Volts::new(lanes.voltage(i)),
+                Ratio::new(soc_actual),
+                recognized * soc_actual,
+                acc[i].last_harvest,
+            )
+            .clamped_to(g.monitoring);
+            let duty = policies[i].choose(&g.node, &status.at(plan.time_at(window_start)));
+            duties[i] = duty;
+            loads[i] = g.node.average_power(duty);
+            wsamples[i] = g.node.step(duty, plan.dt).samples;
+        }
+
+        // Harvest for the window: batched channel solve across lanes
+        // (jittered) — the shared-table case reads per step below.
+        if let Some(ch) = channel.as_mut() {
+            let base = &rows[window_ordinal];
+            jenvs.clear();
+            jenvs.extend(factors.iter().map(|f| f.apply(base)));
+            if window_start < plan.full_steps {
+                ch.window_lanes(&jenvs, plan.dt, &mut whs);
+                calls += 1;
+                for i in 0..lanes_n {
+                    held[i] = whs[i].operating_voltage;
+                }
+            }
+        }
+
+        for j in window_start..window_end {
+            let frac_step = plan.frac_dt.is_some() && j == plan.full_steps;
+            let step_dt = if frac_step {
+                plan.frac_dt.expect("frac step implies frac_dt")
+            } else {
+                plan.dt
+            };
+            if frac_step {
+                if let Some(ch) = channel.as_mut() {
+                    ch.frac_lanes(&jenvs, &held, step_dt, &mut fhs);
+                    calls += 1;
+                }
+            }
+
+            // Pass A — the pre-transfer half of the scalar step: resolve
+            // the lane's harvest, read the store voltage, stage the
+            // charge/discharge request.
+            for i in 0..lanes_n {
+                let hs: &HarvestStep = match shared {
+                    Some(table) => &table[j as usize],
+                    None if frac_step => &fhs[i],
+                    None => &whs[i],
+                };
+                let load = loads[i];
+
+                let harvested_w = hs.delivered;
+                let overhead_w = g.supervisor_overhead + g.output.quiescent() + hs.overhead;
+                acc[i].last_harvest = harvested_w;
+
+                let store_v = Volts::new(lanes.voltage(i));
+                let (load_in_w, servable) = if load.value() > 0.0 {
+                    if g.output.accepts_input_voltage(store_v) {
+                        (g.output.input_for_output(load, store_v), true)
+                    } else {
+                        (Watts::ZERO, false)
+                    }
+                } else {
+                    (Watts::ZERO, true)
+                };
+
+                let e_h = harvested_w * step_dt;
+                let e_load_in = load_in_w * step_dt;
+                let e_ov = overhead_w * step_dt;
+                let step_demand = e_load_in + e_ov;
+
+                charge_w[i] = 0.0;
+                discharge_w[i] = 0.0;
+                deficit_l[i] = Joules::ZERO;
+                if e_h >= step_demand {
+                    let surplus = e_h - step_demand;
+                    if surplus.value() > 0.0 {
+                        charge_w[i] = (surplus / step_dt).value();
+                    }
+                } else {
+                    let deficit = step_demand - e_h;
+                    if deficit.value() > 0.0 {
+                        discharge_w[i] = (deficit / step_dt).value();
+                    }
+                    deficit_l[i] = deficit;
+                }
+                e_load_in_l[i] = e_load_in;
+                servable_l[i] = servable;
+                acc[i].harvested += e_h;
+            }
+
+            // Batched transfer + idle leak: four masked passes over the
+            // lanes, bit-identical to per-lane `charge`/`discharge`/
+            // `idle` (see `SupercapLanes::step`).
+            lanes.step(
+                &charge_w,
+                &discharge_w,
+                step_dt.value(),
+                &mut charged_o,
+                &mut discharged_o,
+            );
+
+            // Pass B — the post-transfer half: shortfall split, sample
+            // accounting, outage tracking. Accumulator order matches the
+            // scalar step exactly.
+            for i in 0..lanes_n {
+                let load = loads[i];
+                let (step_samples, step_load_energy) = if frac_step {
+                    (g.node.step(duties[i], step_dt).samples, load * step_dt)
+                } else {
+                    (wsamples[i], load * plan.dt)
+                };
+                let step_charged = Joules::new(charged_o[i]);
+                let step_discharged = Joules::new(discharged_o[i]);
+                let unmet = (deficit_l[i] - step_discharged).max(Joules::ZERO);
+                let e_load_in = e_load_in_l[i];
+
+                let (step_delivered, step_shortfall, step_conv_loss) = if !servable_l[i] {
+                    (Joules::ZERO, load * step_dt, Joules::ZERO)
+                } else if e_load_in.value() > 0.0 {
+                    let load_unmet = unmet.min(e_load_in);
+                    let served_in = e_load_in - load_unmet;
+                    let served = (served_in / e_load_in).clamp(0.0, 1.0);
+                    let full_load = load * step_dt;
+                    let step_delivered = full_load * served;
+                    (
+                        step_delivered,
+                        full_load * (1.0 - served),
+                        (served_in - step_delivered).max(Joules::ZERO),
+                    )
+                } else {
+                    (Joules::ZERO, Joules::ZERO, Joules::ZERO)
+                };
+
+                let a = &mut acc[i];
+                a.delivered += step_delivered;
+                a.shortfall += step_shortfall;
+                a.charged += step_charged;
+                a.discharged += step_discharged;
+                a.converter_losses += step_conv_loss;
+                a.demanded += step_load_energy;
+
+                let served_fraction = if step_shortfall.value() > 0.0 {
+                    let full = (step_delivered + step_shortfall).value();
+                    if full > 0.0 {
+                        step_delivered.value() / full
+                    } else {
+                        0.0
+                    }
+                } else {
+                    1.0
+                };
+                a.samples += step_samples * served_fraction;
+
+                if step_shortfall.value() > 1e-12 {
+                    a.brownout_steps += 1;
+                    a.outage_run += 1;
+                    a.longest_outage = a.longest_outage.max(a.outage_run);
+                } else {
+                    a.outage_run = 0;
+                }
+                a.min_v = a.min_v.min(Volts::new(lanes.voltage(i)));
+            }
+        }
+        window_start = window_end;
+        window_ordinal += 1;
+    }
+
+    // Per-lane cache synthesis mirrors the scalar dense path: every
+    // harvest read beyond the run's own solves is a memoized replay.
+    let cache = CacheStats {
+        misses: calls,
+        hits: plan.steps - calls,
+        ..CacheStats::default()
+    };
+
+    for (i, a) in acc.into_iter().enumerate() {
+        let d_stored = lanes.stored_energy(i) - initial_stored;
+        let d_losses = lanes.losses(i) - initial_losses;
+        let residual_signed = a.charged.value() - a.discharged.value() - d_losses - d_stored;
+        let throughput = (a.harvested + a.discharged + a.charged).value().max(1.0);
+        let audit_residual = residual_signed.abs() / throughput;
+        debug_assert!(
+            audit_residual < 1e-6,
+            "dense fleet node violated storage conservation: residual {residual_signed} J"
+        );
+        let uptime = if a.demanded.value() > 0.0 {
+            1.0 - (a.shortfall.value() / a.demanded.value()).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        out.push(NodeOutcome {
+            uptime,
+            samples: a.samples,
+            harvested: a.harvested,
+            delivered: a.delivered,
+            shortfall: a.shortfall,
+            demanded: a.demanded,
+            converter_losses: a.converter_losses,
+            brownout_steps: a.brownout_steps,
+            longest_outage_steps: a.longest_outage,
+            min_store_voltage: a.min_v,
+            audit_residual,
+            residual_signed,
+            throughput,
+            stranded: Joules::ZERO,
+            cache,
+            interp_deviation,
+        });
+    }
+}

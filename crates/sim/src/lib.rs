@@ -84,9 +84,9 @@ pub use fault::{
     DegradingHarvester, FailingStorage, FaultSchedule, GlitchingHarvester, IntermittentStorage,
 };
 pub use fleet::{
-    run_fleet, ChannelFactory, DenseGroup, DenseStore, EnvCadence, FleetConfig, FleetGroup,
-    FleetResult, FleetSpec, FleetSummary, GroupEntry, PlatformFactory, PolicyFactory, Straggler,
-    UptimePercentiles,
+    run_fleet, ChannelFactory, DenseGroup, DenseSolveTier, DenseStore, EnvCadence, FleetConfig,
+    FleetGroup, FleetResult, FleetSpec, FleetSummary, GroupEntry, PlatformFactory, PolicyFactory,
+    Straggler, UptimePercentiles,
 };
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry,

@@ -48,11 +48,15 @@ pub struct Battery {
     /// Total energy throughput (for cycle counting).
     throughput: Joules,
     /// Memoized self-discharge keep factor for the last idle `dt`
-    /// (`dt` bits → `(1 − r)^months`). `keep` is a pure function of
-    /// `dt`, so replaying it for a repeated step width is bit-identical
-    /// to recomputing the `powf` — fixed-step simulation hits this every
-    /// step. Excluded from equality: it is a cache, not state.
-    idle_keep_memo: Option<(u64, f64)>,
+    /// (`(dt bits, rate bits)` → `(1 − r)^months`). `keep` is a pure
+    /// function of `dt` and `self_discharge_month`, so replaying it for a
+    /// repeated step width is bit-identical to recomputing the `powf` —
+    /// fixed-step simulation hits this every step. The key carries the
+    /// rate bits so a mutated rate (datasheet clone-modify via
+    /// [`set_self_discharge_month`](Battery::set_self_discharge_month))
+    /// can never replay a stale factor. Excluded from equality: it is a
+    /// cache, not state.
+    idle_keep_memo: Option<((u64, u64), f64)>,
 }
 
 impl PartialEq for Battery {
@@ -202,6 +206,25 @@ impl Battery {
         self.energy = self.capacity * soc.clamp(0.0, 1.0);
     }
 
+    /// Overrides the self-discharge rate (fraction per 30 days) — the
+    /// clone-modify path for deriving a datasheet variant (an aged cell,
+    /// a hotter ambient) from a preset. Invalidates the idle keep-factor
+    /// memo; the key also carries the rate bits, so even a future
+    /// mutation path that forgets this invalidation cannot replay a
+    /// stale `powf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a fraction in `[0, 1)`.
+    pub fn set_self_discharge_month(&mut self, rate: f64) {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "self-discharge must be a fraction below 1"
+        );
+        self.self_discharge_month = rate;
+        self.idle_keep_memo = None;
+    }
+
     /// Equivalent full charge/discharge cycles seen so far
     /// (throughput / 2·capacity).
     pub fn equivalent_full_cycles(&self) -> f64 {
@@ -308,15 +331,17 @@ impl Storage for Battery {
             return;
         }
         // Exponential self-discharge with the per-month rate. The keep
-        // factor depends only on `dt`, so fixed-step simulation replays
-        // the memoized `powf` bit for bit instead of re-evaluating it.
-        let bits = dt.value().to_bits();
+        // factor depends only on `dt` and the rate, so fixed-step
+        // simulation replays the memoized `powf` bit for bit instead of
+        // re-evaluating it. Both inputs sit in the key: a memo keyed on
+        // `dt` alone would replay a stale factor after the rate mutates.
+        let key = (dt.value().to_bits(), self.self_discharge_month.to_bits());
         let keep = match self.idle_keep_memo {
-            Some((memo_bits, memo_keep)) if memo_bits == bits => memo_keep,
+            Some((memo_key, memo_keep)) if memo_key == key => memo_keep,
             _ => {
                 let months = dt.value() / (30.0 * 86_400.0);
                 let keep = (1.0 - self.self_discharge_month).powf(months);
-                self.idle_keep_memo = Some((bits, keep));
+                self.idle_keep_memo = Some((key, keep));
                 keep
             }
         };
@@ -423,6 +448,37 @@ mod tests {
         }
         let cycles = b.equivalent_full_cycles();
         assert!((cycles - 1.0).abs() < 0.1, "cycles {cycles}");
+    }
+
+    #[test]
+    fn mutated_self_discharge_never_replays_stale_keep_factor() {
+        // Warm the idle memo at one rate, then mutate the rate and idle
+        // with the same dt. A memo keyed on dt bits alone replays the old
+        // `powf` — the re-keyed memo must match a never-memoized battery
+        // bit for bit.
+        let dt = Seconds::from_days(30.0);
+        let mut warmed = Battery::lipo_400mah();
+        warmed.set_soc(1.0);
+        warmed.idle(dt); // memoizes keep(dt, 0.03)
+        warmed.set_self_discharge_month(0.20);
+        warmed.idle(dt);
+
+        let mut reference = Battery::lipo_400mah();
+        reference.set_soc(1.0);
+        reference.idle(dt);
+        reference.set_self_discharge_month(0.20);
+        // Uncached recomputation of keep(dt, 0.20):
+        let keep = (1.0f64 - 0.20).powf(dt.value() / (30.0 * 86_400.0));
+        let expected = reference.stored_energy().value() * keep;
+        assert_eq!(
+            warmed.stored_energy().value().to_bits(),
+            expected.to_bits(),
+            "stale keep factor replayed after rate mutation"
+        );
+        // The sanity direction too: 20 %/month drains visibly more than
+        // the 3 %/month the memo was warmed with.
+        let naive = reference.stored_energy().value() * (1.0f64 - 0.03).powf(1.0);
+        assert!(warmed.stored_energy().value() < naive * 0.999);
     }
 
     #[test]

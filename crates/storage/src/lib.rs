@@ -45,5 +45,6 @@ mod supercap;
 pub use battery::Battery;
 pub use fuel_cell::FuelCell;
 pub use kind::StorageKind;
+pub use mseh_units::BatchSolve;
 pub use storage::Storage;
-pub use supercap::Supercap;
+pub use supercap::{Supercap, SupercapLanes, SupercapSolver};

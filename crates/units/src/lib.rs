@@ -44,6 +44,7 @@
 #[macro_use]
 mod quantity;
 
+mod batch;
 mod electrical;
 mod energy;
 mod environment;
@@ -52,6 +53,7 @@ mod ratio;
 mod si;
 mod time;
 
+pub use batch::BatchSolve;
 pub use electrical::{Amps, Coulombs, Farads, Ohms, Volts, Watts};
 pub use energy::Joules;
 pub use environment::{

@@ -56,6 +56,30 @@ awk -v q="$fleet_quick" -v b="$fleet_baseline" 'BEGIN {
     printf "ok: fleet node_steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
 }'
 
+echo "==> dense-supercap regression gate (quick batched node-steps/s vs committed BENCH_sim.json)"
+# The batched struct-of-arrays tier's headline. Same 30% floor and
+# rationale as the fleet gate above; a real regression (losing the
+# batched tier and falling back to per-lane scalar Newton) costs ~10x.
+cap_baseline="$(awk -F': ' '/"dense_supercap_node_steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_sim.json)"
+cap_quick="$(awk -F': ' '/"dense_supercap_node_steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' target/BENCH_sim_quick.json)"
+awk -v q="$cap_quick" -v b="$cap_baseline" 'BEGIN {
+    floor = b * 0.7
+    if (q + 0 < floor) {
+        printf "FAIL: dense_supercap_node_steps_per_sec %.1f is >30%% below committed baseline %.1f (floor %.1f)\n", q, b, floor
+        exit 1
+    }
+    printf "ok: dense_supercap_node_steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
+}'
+
+echo "==> batched-solve bit-identity smoke (supercap lane, batched vs scalar tier)"
+# The harness asserts full summary equality (cache counters included)
+# before writing the flag.
+grep -q '"dense_supercap_batched_matches_scalar": true' target/BENCH_sim_quick.json || {
+    echo "FAIL: batched supercap tier diverged from the scalar reference"
+    exit 1
+}
+echo "ok: batched supercap tier bit-identical to scalar tier"
+
 echo "==> fleet bit-identity smoke (one-node fleet vs run_simulation)"
 # The harness asserts the equality before writing the flag, alongside
 # the thread x shard invariance gate.
