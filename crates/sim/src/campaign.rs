@@ -16,12 +16,13 @@
 //! through the management path), modelling a maintenance visit or an
 //! autonomous re-route.
 
+use crate::cancel::{tripped, CancelToken};
 use crate::ensemble::Spread;
 use crate::fault::FaultSchedule;
 use crate::observe::{AuditReport, ConservationAuditor, SimObserver};
 use crate::parallel::{par_map_with, thread_count};
 use crate::platform::Platform;
-use crate::runner::{run_simulation_observed, SimConfig};
+use crate::runner::{run_simulation_core, SimConfig};
 use mseh_env::Environment;
 use mseh_node::{DutyCyclePolicy, SensorNode};
 use mseh_units::{DutyCycle, Joules, Seconds};
@@ -231,13 +232,16 @@ impl SimObserver for AvailabilityTracker {
     }
 }
 
-/// Runs one prepared scenario through the segmented kernel.
+/// Runs one prepared scenario through the segmented kernel. Returns
+/// `None` when `cancel` trips mid-scenario (checked between segments
+/// and, via the kernel checkpoint, once per control window).
 fn run_scenario<P: Platform>(
     seed: u64,
     mut scenario: FaultScenario<P>,
     node: &SensorNode,
     config: CampaignConfig,
-) -> ScenarioOutcome {
+    cancel: Option<&CancelToken>,
+) -> Option<ScenarioOutcome> {
     let sim = config.sim;
     let mut tracker = AvailabilityTracker::new(sim.dt);
     let mut auditor = ConservationAuditor::new();
@@ -255,14 +259,15 @@ fn run_scenario<P: Platform>(
             duration: Seconds::new(seg),
             ..sim.starting_at(sim.start_at + Seconds::new(covered))
         };
-        let result = run_simulation_observed(
+        let result = run_simulation_core(
             &mut scenario.platform,
             &scenario.env,
             node,
             scenario.policy.as_mut(),
             seg_config,
             &mut [&mut tracker, &mut auditor],
-        );
+            cancel,
+        )?;
         delivered += result.delivered;
         shortfall += result.shortfall;
         covered += seg;
@@ -294,7 +299,7 @@ fn run_scenario<P: Platform>(
         _ => None,
     };
 
-    ScenarioOutcome {
+    Some(ScenarioOutcome {
         seed,
         uptime,
         delivered,
@@ -308,7 +313,7 @@ fn run_scenario<P: Platform>(
         energy_stranded: peak_stranded,
         longest_outage: Seconds::new(tracker.longest_outage),
         audit: auditor.report(),
-    }
+    })
 }
 
 /// Runs `make_scenario(seed)` for every seed, fanned across the shared
@@ -403,9 +408,76 @@ where
 {
     assert!(!seeds.is_empty(), "need at least one seed");
     let outcomes = par_map_with(threads, seeds, |&seed| {
-        run_scenario(seed, make_scenario(seed), node, config)
+        run_scenario(seed, make_scenario(seed), node, config, None)
+            .expect("a run without a cancel token cannot be cancelled")
     });
     summarize_campaign(seeds, outcomes)
+}
+
+/// [`run_resilience_campaign`] as a daemon-facing entry point:
+/// validation errors come back as `Err` instead of panicking, a
+/// cooperative [`CancelToken`] stops the campaign within one control
+/// window of compute per in-flight scenario (`Ok(None)`), and an
+/// optional `progress` callback reports `(completed, total)` scenario
+/// counts as workers finish them.
+///
+/// `threads == 0` selects [`thread_count`]. An un-cancelled campaign is
+/// bit-identical to [`run_resilience_campaign_with_threads`] at any
+/// thread count.
+pub fn run_resilience_campaign_cancellable<P, F>(
+    threads: usize,
+    seeds: &[u64],
+    make_scenario: F,
+    node: &SensorNode,
+    config: CampaignConfig,
+    cancel: &CancelToken,
+    progress: Option<&(dyn Fn(u64, u64) + Sync)>,
+) -> Result<Option<CampaignSummary>, String>
+where
+    P: Platform,
+    F: Fn(u64) -> FaultScenario<P> + Sync,
+{
+    if seeds.is_empty() {
+        return Err("campaign needs at least one seed".into());
+    }
+    let sim = config.sim;
+    if !(sim.dt.value().is_finite() && sim.dt.value() > 0.0) {
+        return Err(format!("dt must be positive and finite, got {}", sim.dt));
+    }
+    if !sim.duration.value().is_finite() || sim.duration < sim.dt {
+        return Err(format!(
+            "duration {} must be finite and cover at least one step of {}",
+            sim.duration, sim.dt
+        ));
+    }
+    if !(config.check_interval.value().is_finite() && config.check_interval.value() > 0.0) {
+        return Err(format!(
+            "check interval must be positive and finite, got {}",
+            config.check_interval
+        ));
+    }
+    let threads = if threads == 0 {
+        thread_count()
+    } else {
+        threads
+    };
+    let done = std::sync::atomic::AtomicU64::new(0);
+    let total = seeds.len() as u64;
+    let outcomes = par_map_with(threads, seeds, |&seed| {
+        if tripped(Some(cancel)) {
+            return None;
+        }
+        let outcome = run_scenario(seed, make_scenario(seed), node, config, Some(cancel));
+        if outcome.is_some() {
+            let k = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if let Some(report) = progress {
+                report(k, total);
+            }
+        }
+        outcome
+    });
+    let outcomes: Option<Vec<ScenarioOutcome>> = outcomes.into_iter().collect();
+    Ok(outcomes.map(|outcomes| summarize_campaign(seeds, outcomes)))
 }
 
 fn summarize_campaign(seeds: &[u64], outcomes: Vec<ScenarioOutcome>) -> CampaignSummary {
@@ -529,6 +601,36 @@ mod tests {
         );
         summary_recoveries += summary.total_recoveries;
         assert_eq!(summary_recoveries, 2);
+    }
+
+    #[test]
+    fn cancellable_campaign_matches_plain_and_honours_the_token() {
+        let node = SensorNode::submilliwatt_class();
+        let config = CampaignConfig::over(Seconds::from_hours(3.0));
+        let plain = run_resilience_campaign_with_threads(1, &[7, 8], scenario, &node, config);
+        let token = CancelToken::new();
+        let same =
+            run_resilience_campaign_cancellable(1, &[7, 8], scenario, &node, config, &token, None)
+                .expect("valid config")
+                .expect("token never tripped");
+        assert_eq!(plain, same);
+
+        token.cancel();
+        let cancelled =
+            run_resilience_campaign_cancellable(1, &[7, 8], scenario, &node, config, &token, None)
+                .expect("valid config");
+        assert!(cancelled.is_none());
+
+        let empty = run_resilience_campaign_cancellable(
+            1,
+            &[],
+            scenario,
+            &node,
+            config,
+            &CancelToken::new(),
+            None,
+        );
+        assert!(empty.is_err());
     }
 
     #[test]

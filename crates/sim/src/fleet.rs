@@ -104,6 +104,7 @@
 //! assert!(out.summary.audit_relative < 1e-6);
 //! ```
 
+use crate::cancel::{tripped, CancelToken};
 use crate::parallel::{par_map_with, thread_count};
 use crate::platform::Platform;
 use crate::runner::{SimConfig, SimResult};
@@ -759,7 +760,9 @@ impl NodeOutcome {
 /// Runs one node's full trajectory. The loop body replicates
 /// `run_simulation`'s unobserved hot path step for step — same window
 /// structure, same accumulator order, same audit — so a per-step-cadence
-/// fleet node is bit-identical to a standalone run.
+/// fleet node is bit-identical to a standalone run. Returns `None` when
+/// `cancel` trips, checked once per control window.
+#[allow(clippy::too_many_arguments)]
 fn simulate_node(
     platform: &mut dyn Platform,
     node: &SensorNode,
@@ -768,7 +771,8 @@ fn simulate_node(
     factors: &JitterFactors,
     jittered: bool,
     plan: &StepPlan,
-) -> NodeOutcome {
+    cancel: Option<&CancelToken>,
+) -> Option<NodeOutcome> {
     let initial_stored = platform.total_stored_energy();
     let initial_losses = platform.storage_losses();
 
@@ -788,6 +792,9 @@ fn simulate_node(
     let mut window_ordinal = 0usize;
     let mut window_start = 0u64;
     while window_start < plan.steps {
+        if tripped(cancel) {
+            return None;
+        }
         let window_end = (window_start + plan.control_every).min(plan.steps);
         let duty = policy.choose(
             node,
@@ -866,7 +873,7 @@ fn simulate_node(
         1.0
     };
 
-    NodeOutcome {
+    Some(NodeOutcome {
         uptime,
         samples,
         harvested,
@@ -883,7 +890,7 @@ fn simulate_node(
         stranded: platform.stranded_energy(),
         cache: platform.kernel_cache_stats(),
         interp_deviation: 0.0,
-    }
+    })
 }
 
 /// Drives one representative channel through the run's full step
@@ -900,14 +907,17 @@ fn simulate_node(
 /// window's first solve left it — so skipping the repeats preserves both
 /// the per-step outputs and the channel state bit for bit. The
 /// fractional closing step always gets its own call (its `dt` differs).
+/// Returns `None` when `cancel` trips, checked once per control window.
+#[allow(clippy::too_many_arguments)]
 fn build_harvest_table(
     channel: &mut InputChannel,
     rows: &[EnvConditions],
     factors: &JitterFactors,
     jittered: bool,
     plan: &StepPlan,
+    cancel: Option<&CancelToken>,
     out: &mut Vec<HarvestStep>,
-) -> u64 {
+) -> Option<u64> {
     out.clear();
     out.reserve(plan.steps as usize);
     let mut calls = 0u64;
@@ -915,6 +925,9 @@ fn build_harvest_table(
     let mut window_ordinal = 0usize;
     let mut window_start = 0u64;
     while window_start < plan.steps {
+        if tripped(cancel) {
+            return None;
+        }
         let window_end = (window_start + plan.control_every).min(plan.steps);
         for j in window_start..window_end {
             let step_dt = match plan.frac_dt {
@@ -954,7 +967,7 @@ fn build_harvest_table(
         window_start = window_end;
         window_ordinal += 1;
     }
-    calls
+    Some(calls)
 }
 
 /// Runs one dense-lane node: the per-step arithmetic of
@@ -962,6 +975,7 @@ fn build_harvest_table(
 /// monomorphized over the concrete storage type, with the channel's
 /// work already materialized in `harvest`. Mirrors [`simulate_node`]'s
 /// accumulator order exactly so lane choice never changes a result.
+/// Returns `None` when `cancel` trips, checked once per control window.
 #[allow(clippy::too_many_arguments)]
 fn simulate_node_dense<S: Storage + Clone>(
     template: &S,
@@ -973,7 +987,8 @@ fn simulate_node_dense<S: Storage + Clone>(
     harvest: &[HarvestStep],
     plan: &StepPlan,
     cache: CacheStats,
-) -> NodeOutcome {
+    cancel: Option<&CancelToken>,
+) -> Option<NodeOutcome> {
     let mut store = template.clone();
     // The boxed path's recognized capacity defaults to the device's
     // datasheet capacity at attach time.
@@ -997,6 +1012,9 @@ fn simulate_node_dense<S: Storage + Clone>(
 
     let mut window_start = 0u64;
     while window_start < plan.steps {
+        if tripped(cancel) {
+            return None;
+        }
         let window_end = (window_start + plan.control_every).min(plan.steps);
         // `PowerUnit::energy_status` for a single primary store: actual
         // SoC over the device capacity, believed stored energy over the
@@ -1136,7 +1154,7 @@ fn simulate_node_dense<S: Storage + Clone>(
         1.0
     };
 
-    NodeOutcome {
+    Some(NodeOutcome {
         uptime,
         samples,
         harvested,
@@ -1153,7 +1171,7 @@ fn simulate_node_dense<S: Storage + Clone>(
         stranded: Joules::ZERO,
         cache,
         interp_deviation: 0.0,
-    }
+    })
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -1163,6 +1181,31 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// External control of a [`run_fleet_controlled`] run: a cooperative
+/// cancellation token and a progress callback, both optional. The
+/// default value is "no control" — exactly [`run_fleet`]'s behaviour.
+#[derive(Default, Clone, Copy)]
+pub struct FleetControl<'a> {
+    /// Checked at control-window granularity by every lane; a tripped
+    /// token makes the run return `Ok(None)` within one control window
+    /// of compute per in-flight node.
+    pub cancel: Option<&'a CancelToken>,
+    /// Called with `(nodes_completed, population)` as shards finish.
+    /// Completion order is scheduling-dependent, but the reported
+    /// counts are monotone and the final call always reports the full
+    /// population.
+    pub progress: Option<&'a (dyn Fn(u64, u64) + Sync)>,
+}
+
+impl core::fmt::Debug for FleetControl<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FleetControl")
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.map(|_| "Fn"))
+            .finish()
+    }
 }
 
 /// Runs the whole fleet described by `spec` under `config`.
@@ -1176,10 +1219,56 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// # Panics
 ///
 /// Panics on an empty population, a non-positive `dt`, or a duration
-/// shorter than one step.
+/// shorter than one step. Long-running embeddings that must survive a
+/// malformed spec (the `mseh serve` daemon) use
+/// [`run_fleet_controlled`], which reports those as `Err` instead.
 pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
+    match run_fleet_controlled(spec, config, FleetControl::default()) {
+        Ok(Some(result)) => result,
+        Ok(None) => unreachable!("no cancel token was installed"),
+        Err(message) => panic!("{message}"),
+    }
+}
+
+/// [`run_fleet`] as a daemon-facing entry point: spec/config validation
+/// errors come back as `Err` instead of panicking, and a
+/// [`FleetControl`] supplies optional cooperative cancellation
+/// (`Ok(None)` when the token trips — partial results are discarded,
+/// never returned torn) and progress reporting. An un-cancelled run
+/// returns exactly [`run_fleet`]'s result, bit for bit.
+pub fn run_fleet_controlled(
+    spec: &FleetSpec,
+    config: FleetConfig,
+    control: FleetControl<'_>,
+) -> Result<Option<FleetResult>, String> {
+    let cancel = control.cancel;
     let population = spec.population();
-    assert!(population > 0, "fleet population must be non-empty");
+    if population == 0 {
+        return Err("fleet population must be non-empty".into());
+    }
+    let sim = config.sim;
+    if !(sim.dt.value().is_finite() && sim.dt.value() > 0.0) {
+        return Err(format!("dt must be positive and finite, got {}", sim.dt));
+    }
+    if !sim.duration.value().is_finite() || sim.duration < sim.dt {
+        return Err(format!(
+            "duration must cover at least one step and be finite, got {} at dt {}",
+            sim.duration, sim.dt
+        ));
+    }
+    if !(sim.control_interval.value().is_finite() && sim.control_interval.value() > 0.0) {
+        return Err(format!(
+            "control interval must be positive and finite, got {}",
+            sim.control_interval
+        ));
+    }
+    if let DenseSolveTier::Interpolated { samples } = config.dense_tier {
+        if samples < 2 {
+            return Err(format!(
+                "interpolation tier needs at least 2 knots, got {samples}"
+            ));
+        }
+    }
     let plan = StepPlan::new(&config);
 
     // One contiguous condition table per site, sampled through the same
@@ -1211,29 +1300,34 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
     // the shard (their conditions differ), still once per window. The
     // driver's solve counters are folded into the summary once per
     // group, after the per-node fold.
-    let dense_tables: Vec<Option<(Vec<HarvestStep>, CacheStats)>> = spec
-        .groups
-        .iter()
-        .map(|entry| match entry {
+    let mut dense_tables: Vec<Option<(Vec<HarvestStep>, CacheStats)>> =
+        Vec::with_capacity(spec.groups.len());
+    for entry in &spec.groups {
+        dense_tables.push(match entry {
             GroupEntry::Dense(g) if g.jitter.is_none() => {
                 let mut channel = (g.channel)();
                 if plan.quantize_drop_bits.is_some() {
                     channel.set_cache_quantization(plan.quantize_drop_bits);
                 }
                 let mut table = Vec::new();
-                build_harvest_table(
+                if build_harvest_table(
                     &mut channel,
                     &tables[g.site],
                     &JitterFactors::IDENTITY,
                     false,
                     &plan,
+                    cancel,
                     &mut table,
-                );
+                )
+                .is_none()
+                {
+                    return Ok(None);
+                }
                 Some((table, channel.kernel_cache_stats()))
             }
             _ => None,
-        })
-        .collect();
+        });
+    }
 
     // Supercap dense groups step on the struct-of-arrays batched tier
     // unless the config pins `Scalar`. Unjittered groups always qualify
@@ -1271,6 +1365,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
         config.threads
     };
 
+    let done_nodes = std::sync::atomic::AtomicU64::new(0);
     let run_shard = |&(lo, hi): &(u64, u64)| -> Vec<NodeOutcome> {
         let mut out = Vec::with_capacity((hi - lo) as usize);
         // Scratch harvest table reused by jittered dense nodes.
@@ -1280,6 +1375,11 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
         let mut gi = spans.partition_point(|&(_, end)| end <= lo);
         let mut cursor = lo;
         while cursor < hi {
+            // A tripped token makes the shard bail with a short vector;
+            // the caller discards everything and returns `Ok(None)`.
+            if tripped(cancel) {
+                return out;
+            }
             while spans[gi].1 <= cursor {
                 gi += 1;
             }
@@ -1292,7 +1392,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
             if batched[gi] {
                 if let GroupEntry::Dense(g) = &spec.groups[gi] {
                     if let DenseStore::Supercap(template) = &g.store {
-                        dense_lanes::simulate_supercap_run(
+                        if !dense_lanes::simulate_supercap_run(
                             g,
                             template,
                             spans[gi].0,
@@ -1302,8 +1402,11 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
                             dense_tables[gi].as_ref().map(|(t, _)| t.as_slice()),
                             &plan,
                             config.dense_tier,
+                            cancel,
                             &mut out,
-                        );
+                        ) {
+                            return out;
+                        }
                         cursor = run_end;
                         continue;
                     }
@@ -1321,7 +1424,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
                         if plan.quantize_drop_bits.is_some() {
                             platform.set_kernel_cache_quantization(plan.quantize_drop_bits);
                         }
-                        out.push(simulate_node(
+                        match simulate_node(
                             platform.as_mut(),
                             &g.node,
                             policy.as_mut(),
@@ -1329,7 +1432,11 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
                             &factors,
                             jittered,
                             &plan,
-                        ));
+                            cancel,
+                        ) {
+                            Some(outcome) => out.push(outcome),
+                            None => return out,
+                        }
                     }
                     GroupEntry::Dense(g) => {
                         let node_seed = Noise::new(g.seed).bits(NODE_SEED_STREAM, within);
@@ -1346,20 +1453,24 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
                                 if plan.quantize_drop_bits.is_some() {
                                     channel.set_cache_quantization(plan.quantize_drop_bits);
                                 }
-                                calls = build_harvest_table(
+                                calls = match build_harvest_table(
                                     &mut channel,
                                     &tables[g.site],
                                     &factors,
                                     true,
                                     &plan,
+                                    cancel,
                                     &mut scratch,
-                                );
+                                ) {
+                                    Some(calls) => calls,
+                                    None => return out,
+                                };
                                 cache = channel.kernel_cache_stats();
                                 &scratch
                             }
                         };
                         cache.hits += plan.steps - calls;
-                        out.push(match &g.store {
+                        let outcome = match &g.store {
                             DenseStore::Supercap(s) => simulate_node_dense(
                                 s,
                                 &g.output,
@@ -1370,6 +1481,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
                                 table,
                                 &plan,
                                 cache,
+                                cancel,
                             ),
                             DenseStore::Battery(b) => simulate_node_dense(
                                 b,
@@ -1381,16 +1493,33 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
                                 table,
                                 &plan,
                                 cache,
+                                cancel,
                             ),
-                        });
+                        };
+                        match outcome {
+                            Some(outcome) => out.push(outcome),
+                            None => return out,
+                        }
                     }
                 }
             }
             cursor = run_end;
         }
+        if let Some(report) = control.progress {
+            let done =
+                hi - lo + done_nodes.fetch_add(hi - lo, std::sync::atomic::Ordering::Relaxed);
+            report(done, population);
+        }
         out
     };
     let shard_outcomes = par_map_with(threads.max(1), &shards, run_shard);
+
+    // A tripped token may have left some shards short; partial results
+    // are discarded wholesale rather than folded torn.
+    let completed: u64 = shard_outcomes.iter().map(|s| s.len() as u64).sum();
+    if tripped(cancel) || completed != population {
+        return Ok(None);
+    }
 
     // Fold in global node order (shard order = node order), so the
     // floating-point accumulation is independent of shard boundaries.
@@ -1492,7 +1621,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
         1.0
     };
 
-    FleetResult {
+    Ok(Some(FleetResult {
         summary: FleetSummary {
             population,
             steps_per_node: plan.steps,
@@ -1515,7 +1644,7 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
             stragglers,
         },
         node_results,
-    }
+    }))
 }
 
 #[cfg(test)]
@@ -1910,5 +2039,92 @@ mod tests {
         for (threads, shard) in [(2, 4), (4, 1024), (3, 1)] {
             assert_eq!(run(threads, shard), reference, "{threads}t/{shard}s");
         }
+    }
+
+    #[test]
+    fn controlled_run_matches_plain_run_and_honours_the_token() {
+        let spec = small_spec(5, EnvJitter::relative(0.2));
+        let config = FleetConfig::over(Seconds::from_hours(2.0));
+        let plain = run_fleet(&spec, config).summary;
+        let token = CancelToken::new();
+        let controlled = run_fleet_controlled(
+            &spec,
+            config,
+            FleetControl {
+                cancel: Some(&token),
+                progress: None,
+            },
+        )
+        .expect("valid spec")
+        .expect("token never tripped");
+        assert_eq!(controlled.summary, plain);
+
+        token.cancel();
+        let cancelled = run_fleet_controlled(
+            &spec,
+            config,
+            FleetControl {
+                cancel: Some(&token),
+                progress: None,
+            },
+        )
+        .expect("valid spec");
+        assert!(cancelled.is_none(), "tripped token must yield Ok(None)");
+    }
+
+    #[test]
+    fn controlled_run_reports_errors_instead_of_panicking() {
+        let empty = FleetSpec::new();
+        let config = FleetConfig::over(Seconds::from_hours(1.0));
+        let err =
+            run_fleet_controlled(&empty, config, FleetControl::default()).expect_err("empty fleet");
+        assert!(err.contains("population must be non-empty"), "{err}");
+
+        let spec = small_spec(1, EnvJitter::NONE);
+        let bad_duration = FleetConfig::over(Seconds::new(-5.0));
+        let err = run_fleet_controlled(&spec, bad_duration, FleetControl::default())
+            .expect_err("negative duration");
+        assert!(err.contains("duration"), "{err}");
+
+        let mut bad_dt = FleetConfig::over(Seconds::from_hours(1.0));
+        bad_dt.sim.dt = Seconds::new(0.0);
+        let err =
+            run_fleet_controlled(&spec, bad_dt, FleetControl::default()).expect_err("zero dt");
+        assert!(err.contains("dt must be positive"), "{err}");
+    }
+
+    #[test]
+    fn cancelling_a_dense_fleet_mid_run_yields_none() {
+        let mut spec = FleetSpec::new();
+        let site = spec.add_site(Environment::outdoor_temperate(11));
+        spec.add_dense_group(solar_dense(
+            "pv dense",
+            16,
+            site,
+            SensorNode::submilliwatt_class(),
+        ));
+        let token = CancelToken::new();
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        // Trip the token from the progress hook after the first shard —
+        // remaining shards must bail and the run must report Ok(None).
+        let trip = |_done: u64, _total: u64| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            token.cancel();
+        };
+        let out = run_fleet_controlled(
+            &spec,
+            FleetConfig {
+                threads: 2,
+                shard_size: 4,
+                ..FleetConfig::over(Seconds::from_hours(2.0))
+            },
+            FleetControl {
+                cancel: Some(&token),
+                progress: Some(&trip),
+            },
+        )
+        .expect("valid spec");
+        assert!(out.is_none(), "cancelled fleet must yield Ok(None)");
+        assert!(hits.load(std::sync::atomic::Ordering::Relaxed) >= 1);
     }
 }

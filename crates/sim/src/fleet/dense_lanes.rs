@@ -21,6 +21,7 @@
 //! split a group into runs. The fleet tests assert both.
 
 use super::{DenseGroup, DenseSolveTier, NodeOutcome, StepPlan, NODE_SEED_STREAM};
+use crate::cancel::{tripped, CancelToken};
 use mseh_env::rng::Noise;
 use mseh_env::{EnvConditions, JitterFactors};
 use mseh_harvesters::CacheStats;
@@ -76,6 +77,9 @@ impl LaneAcc {
 /// snapshots; the caller has verified
 /// [`mseh_power::InputChannel::supports_window_lanes`] for the plan's
 /// `dt`.
+///
+/// Returns `false` — with no outcomes pushed — when `cancel` trips,
+/// checked once per control window.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn simulate_supercap_run(
     g: &DenseGroup,
@@ -87,8 +91,9 @@ pub(super) fn simulate_supercap_run(
     shared: Option<&[HarvestStep]>,
     plan: &StepPlan,
     tier: DenseSolveTier,
+    cancel: Option<&CancelToken>,
     out: &mut Vec<NodeOutcome>,
-) {
+) -> bool {
     let lanes_n = (hi - lo) as usize;
     let node_seed = |i: usize| {
         let within = lo - group_start + i as u64;
@@ -154,6 +159,9 @@ pub(super) fn simulate_supercap_run(
     let mut window_ordinal = 0usize;
     let mut window_start = 0u64;
     while window_start < plan.steps {
+        if tripped(cancel) {
+            return false;
+        }
         let window_end = (window_start + plan.control_every).min(plan.steps);
 
         // Policy prologue, per lane: the exact `EnergyStatus` the scalar
@@ -376,4 +384,5 @@ pub(super) fn simulate_supercap_run(
             interp_deviation,
         });
     }
+    true
 }

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod cancel;
 mod ensemble;
 mod fault;
 mod fleet;
@@ -70,12 +71,15 @@ mod observe;
 mod parallel;
 mod platform;
 mod runner;
+pub mod serve;
 mod sweep;
 
 pub use campaign::{
-    run_resilience_campaign, run_resilience_campaign_with_threads, CampaignConfig, CampaignSummary,
-    FaultScenario, ScenarioOutcome,
+    run_resilience_campaign, run_resilience_campaign_cancellable,
+    run_resilience_campaign_with_threads, CampaignConfig, CampaignSummary, FaultScenario,
+    ScenarioOutcome,
 };
+pub use cancel::CancelToken;
 pub use ensemble::{
     run_seed_ensemble, run_seed_ensemble_instrumented, run_seed_ensemble_seq,
     run_seed_ensemble_with_threads, EnsembleSummary, InstrumentedEnsemble, Spread,
@@ -84,9 +88,9 @@ pub use fault::{
     DegradingHarvester, FailingStorage, FaultSchedule, GlitchingHarvester, IntermittentStorage,
 };
 pub use fleet::{
-    run_fleet, ChannelFactory, DenseGroup, DenseSolveTier, DenseStore, EnvCadence, FleetConfig,
-    FleetGroup, FleetResult, FleetSpec, FleetSummary, GroupEntry, PlatformFactory, PolicyFactory,
-    Straggler, UptimePercentiles,
+    run_fleet, run_fleet_controlled, ChannelFactory, DenseGroup, DenseSolveTier, DenseStore,
+    EnvCadence, FleetConfig, FleetControl, FleetGroup, FleetResult, FleetSpec, FleetSummary,
+    GroupEntry, PlatformFactory, PolicyFactory, Straggler, UptimePercentiles,
 };
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry,
@@ -99,8 +103,8 @@ pub use observe::{
 pub use parallel::{par_map, par_map_instrumented, par_map_with, thread_count};
 pub use platform::Platform;
 pub use runner::{
-    publish_kernel_cache_stats, run_simulation, run_simulation_observed, SimConfig, SimResult,
-    SimTraces,
+    publish_kernel_cache_stats, run_simulation, run_simulation_cancellable,
+    run_simulation_observed, SimConfig, SimResult, SimTraces,
 };
 pub use sweep::{
     crossover, day_grid, first_meeting, geometric_grid, par_sweep, par_sweep_with_threads, sweep,

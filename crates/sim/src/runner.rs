@@ -1,6 +1,7 @@
 //! The simulation runner: drives a [`Platform`] + node + policy against an
 //! environment, recording time series and enforcing energy conservation.
 
+use crate::cancel::{tripped, CancelToken};
 use crate::metrics::MetricsRegistry;
 use crate::observe::{SimEvent, SimObserver, StepEnergies};
 use crate::platform::Platform;
@@ -201,6 +202,40 @@ pub fn run_simulation_observed(
     config: SimConfig,
     observers: &mut [&mut dyn SimObserver],
 ) -> SimResult {
+    run_simulation_core(platform, env, node, policy, config, observers, None)
+        .expect("a run without a cancel token cannot be cancelled")
+}
+
+/// [`run_simulation_observed`] with a cooperative [`CancelToken`].
+///
+/// The token is checked once per control window; a tripped token makes
+/// the kernel stop before starting the next window and return `None`
+/// (partial results are discarded, never returned torn). An
+/// un-cancelled run returns exactly what [`run_simulation_observed`]
+/// would — the checkpoint is a read-only branch, so results are
+/// bit-identical.
+pub fn run_simulation_cancellable(
+    platform: &mut dyn Platform,
+    env: &dyn EnvSampler,
+    node: &SensorNode,
+    policy: &mut dyn DutyCyclePolicy,
+    config: SimConfig,
+    observers: &mut [&mut dyn SimObserver],
+    cancel: &CancelToken,
+) -> Option<SimResult> {
+    run_simulation_core(platform, env, node, policy, config, observers, Some(cancel))
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_simulation_core(
+    platform: &mut dyn Platform,
+    env: &dyn EnvSampler,
+    node: &SensorNode,
+    policy: &mut dyn DutyCyclePolicy,
+    config: SimConfig,
+    observers: &mut [&mut dyn SimObserver],
+    cancel: Option<&CancelToken>,
+) -> Option<SimResult> {
     assert!(config.dt.value() > 0.0, "dt must be positive");
     assert!(
         config.duration >= config.dt,
@@ -341,6 +376,12 @@ pub fn run_simulation_observed(
 
     let mut window_start = 0u64;
     while window_start < steps {
+        // Cancellation checkpoint: at most one control window of work
+        // happens after the token trips, and a cancelled run never
+        // returns a torn partial result.
+        if tripped(cancel) {
+            return None;
+        }
         let window_end = (window_start + control_every).min(steps);
         let duty = policy.choose(node, &platform.energy_status().at(time_at(window_start)));
         let load = node.average_power(duty);
@@ -517,7 +558,7 @@ pub fn run_simulation_observed(
         1.0
     };
 
-    SimResult {
+    Some(SimResult {
         duration: config.duration,
         uptime,
         samples,
@@ -530,7 +571,7 @@ pub fn run_simulation_observed(
         min_store_voltage: min_v,
         audit_residual,
         traces,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -710,6 +751,47 @@ mod tests {
         // Exact multiples grow no ghost step.
         let exact = run(Seconds::from_days(1.0));
         assert_eq!(exact.traces.expect("recording").store_voltage.len(), 1440);
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_run_and_honours_the_token() {
+        let env = Environment::outdoor_temperate(5);
+        let node = SensorNode::submilliwatt_class();
+        let config = SimConfig::over(Seconds::from_hours(4.0));
+
+        let mut unit = solar_unit();
+        let mut policy = FixedDuty::new(DutyCycle::saturating(0.05));
+        let plain = run_simulation(&mut unit, &env, &node, &mut policy, config);
+
+        let mut unit = solar_unit();
+        let mut policy = FixedDuty::new(DutyCycle::saturating(0.05));
+        let token = CancelToken::new();
+        let cancellable = run_simulation_cancellable(
+            &mut unit,
+            &env,
+            &node,
+            &mut policy,
+            config,
+            &mut [],
+            &token,
+        )
+        .expect("token never tripped");
+        assert_eq!(plain, cancellable);
+
+        // A pre-tripped token stops the run before any window.
+        let mut unit = solar_unit();
+        let mut policy = FixedDuty::new(DutyCycle::saturating(0.05));
+        token.cancel();
+        assert!(run_simulation_cancellable(
+            &mut unit,
+            &env,
+            &node,
+            &mut policy,
+            config,
+            &mut [],
+            &token,
+        )
+        .is_none());
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Per-connection request loop: parses wire lines, dispatches verbs,
+//! and — for `subscribe` — switches the connection into streaming mode
+//! until the job's `done` line has been delivered.
+
+use super::protocol::{format_line, parse_line, Request};
+use super::registry::{Shared, StreamMsg, SubmitError};
+use super::{JobRunner, JobSpec, StoredRun};
+use crate::cancel::CancelToken;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Longest accepted request line; a client exceeding it is dropped.
+const MAX_LINE: usize = 64 * 1024;
+/// Read poll granularity — how often an idle session re-checks the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Buffered line reader that survives read timeouts without losing
+/// partial lines (a timeout mid-line keeps the bytes buffered).
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn next_line(&mut self, shared: &Shared) -> Option<String> {
+        loop {
+            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=i).collect();
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > MAX_LINE {
+                return None;
+            }
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shared.is_shutting_down() {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, line: &str) -> bool {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn send_err(stream: &mut TcpStream, code: &str, msg: &str) -> bool {
+    send(
+        stream,
+        &format_line(
+            "err",
+            &[("code", code.to_string()), ("msg", msg.to_string())],
+        ),
+    )
+}
+
+/// Runs one client connection to completion. All I/O errors simply end
+/// the session; daemon state is owned elsewhere.
+pub(crate) fn handle_connection(
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    runner: Arc<dyn JobRunner>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader {
+        stream,
+        buf: Vec::new(),
+    };
+
+    while let Some(raw) = reader.next_line(&shared) {
+        let request = match parse_line(&raw) {
+            Ok(Some(request)) => request,
+            Ok(None) => continue,
+            Err(msg) => {
+                if send_err(&mut writer, "bad_request", &msg) {
+                    continue;
+                }
+                return;
+            }
+        };
+        let keep_going = match request.verb.as_str() {
+            "ping" => send(&mut writer, &format_line("ok", &[("pong", "1".into())])),
+            "submit" => handle_submit(&mut writer, &shared, runner.as_ref(), &request),
+            "status" => handle_status(&mut writer, &shared, &request),
+            "cancel" => handle_cancel(&mut writer, &shared, &request),
+            "result" => handle_result(&mut writer, &shared, &request),
+            "subscribe" => handle_subscribe(&mut writer, &shared, &request),
+            "shutdown" => {
+                let ok = send(
+                    &mut writer,
+                    &format_line("ok", &[("state", "shutting_down".into())]),
+                );
+                shared.begin_shutdown();
+                ok
+            }
+            verb => send_err(&mut writer, "unknown_verb", &format!("unknown verb {verb}")),
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn job_id(request: &Request) -> Result<&str, String> {
+    request
+        .get("id")
+        .ok_or_else(|| "missing id field".to_string())
+}
+
+fn handle_submit(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    runner: &dyn JobRunner,
+    request: &Request,
+) -> bool {
+    let Some(kind) = request.get("kind") else {
+        return send_err(writer, "bad_spec", "missing kind field");
+    };
+    let spec = JobSpec {
+        kind: kind.to_string(),
+        fields: request
+            .fields
+            .iter()
+            .filter(|(k, _)| k != "kind")
+            .cloned()
+            .collect(),
+    };
+    let prepared = match runner.prepare(&spec) {
+        Ok(prepared) => prepared,
+        Err(msg) => return send_err(writer, "bad_spec", &msg),
+    };
+    let spec_hash = spec.spec_hash();
+    let stored = StoredRun {
+        run: prepared.run,
+        cancel: CancelToken::new(),
+    };
+    match shared.submit(prepared.seed, spec_hash, stored) {
+        Ok(id) => send(
+            writer,
+            &format_line(
+                "ok",
+                &[
+                    ("id", id),
+                    ("state", "queued".into()),
+                    ("spec_hash", format!("{spec_hash:016x}")),
+                ],
+            ),
+        ),
+        Err(SubmitError::Full { retry_after_ms }) => send(
+            writer,
+            &format_line(
+                "err",
+                &[
+                    ("code", "queue_full".into()),
+                    ("retry_after_ms", retry_after_ms.to_string()),
+                ],
+            ),
+        ),
+        Err(SubmitError::ShuttingDown) => {
+            send_err(writer, "shutting_down", "daemon is shutting down")
+        }
+    }
+}
+
+fn handle_status(writer: &mut TcpStream, shared: &Shared, request: &Request) -> bool {
+    let id = match job_id(request) {
+        Ok(id) => id,
+        Err(msg) => return send_err(writer, "bad_request", &msg),
+    };
+    match shared.status(id) {
+        Ok(snapshot) => send(
+            writer,
+            &format_line(
+                "ok",
+                &[
+                    ("id", id.to_string()),
+                    ("state", snapshot.state.as_wire().into()),
+                    ("queued", snapshot.queued.to_string()),
+                    ("running", snapshot.running.to_string()),
+                ],
+            ),
+        ),
+        Err(msg) => send_err(writer, "unknown_job", &msg),
+    }
+}
+
+fn handle_cancel(writer: &mut TcpStream, shared: &Shared, request: &Request) -> bool {
+    let id = match job_id(request) {
+        Ok(id) => id,
+        Err(msg) => return send_err(writer, "bad_request", &msg),
+    };
+    match shared.cancel(id) {
+        Ok(state) => {
+            let wire = if state.is_terminal() {
+                state.as_wire()
+            } else {
+                // Token tripped; the worker confirms within one
+                // control window.
+                "cancelling"
+            };
+            send(
+                writer,
+                &format_line("ok", &[("id", id.to_string()), ("state", wire.into())]),
+            )
+        }
+        Err(msg) => send_err(writer, "unknown_job", &msg),
+    }
+}
+
+fn handle_result(writer: &mut TcpStream, shared: &Shared, request: &Request) -> bool {
+    let id = match job_id(request) {
+        Ok(id) => id,
+        Err(msg) => return send_err(writer, "bad_request", &msg),
+    };
+    match shared.result(id) {
+        Ok(snapshot) => match snapshot.state {
+            super::JobState::Done => {
+                let fields = snapshot
+                    .final_fields
+                    .expect("done job stores result fields");
+                let borrowed: Vec<(&str, String)> = fields
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.clone()))
+                    .collect();
+                send(writer, &format_line("ok", &borrowed))
+            }
+            super::JobState::Failed => send_err(
+                writer,
+                "job_failed",
+                snapshot.error.as_deref().unwrap_or("job failed"),
+            ),
+            super::JobState::Cancelled => send_err(writer, "job_cancelled", "job was cancelled"),
+            state => send(
+                writer,
+                &format_line(
+                    "err",
+                    &[
+                        ("code", "not_finished".into()),
+                        ("state", state.as_wire().into()),
+                    ],
+                ),
+            ),
+        },
+        Err(msg) => send_err(writer, "unknown_job", &msg),
+    }
+}
+
+fn handle_subscribe(writer: &mut TcpStream, shared: &Shared, request: &Request) -> bool {
+    let id = match job_id(request) {
+        Ok(id) => id,
+        Err(msg) => return send_err(writer, "bad_request", &msg),
+    };
+    let (tx, rx) = mpsc::channel();
+    let (backlog, terminal) = match shared.subscribe(id, tx) {
+        Ok(sub) => sub,
+        Err(msg) => return send_err(writer, "unknown_job", &msg),
+    };
+    if !send(
+        writer,
+        &format_line("ok", &[("id", id.to_string()), ("subscribed", "1".into())]),
+    ) {
+        return false;
+    }
+    for line in &backlog {
+        if !send(writer, line) {
+            return false;
+        }
+    }
+    if terminal {
+        // The buffered `done` line was part of the backlog; the
+        // connection drops straight back to request mode.
+        return true;
+    }
+    loop {
+        match rx.recv_timeout(READ_POLL) {
+            Ok(StreamMsg::Line(line)) => {
+                if !send(writer, &line) {
+                    return false;
+                }
+            }
+            Ok(StreamMsg::Done) => return true,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Shutdown cancels every live job, so Done is coming;
+                // keep draining until it arrives.
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return true,
+        }
+    }
+}

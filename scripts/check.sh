@@ -21,6 +21,36 @@ for ex in examples/*.rs; do
     cargo run --release -q -p mseh --example "$name" >/dev/null
 done
 
+echo "==> serve smoke (release daemon on an ephemeral port, driven by the example client)"
+# The daemon prints its bound address on the first stdout line; the
+# client submits, streams, cancels a running fleet job, then sends the
+# wire shutdown verb — the daemon must exit 0 on its own.
+serve_log="$(mktemp)"
+./target/release/mseh serve --addr 127.0.0.1:0 --queue 4 --workers 1 > "$serve_log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(awk '/listening on/ { print $NF; exit }' "$serve_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: daemon never reported its listening address"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! cargo run --release -q -p mseh --example serve_client -- "$addr" >/dev/null; then
+    echo "FAIL: serve client session failed against $addr"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "$serve_pid"; then
+    echo "FAIL: daemon exited non-zero after wire shutdown"
+    exit 1
+fi
+rm -f "$serve_log"
+echo "ok: serve smoke — submit, stream, cancel, shutdown, clean exit"
+
 echo "==> perf smoke (reduced budget, perf profile, writes target/BENCH_sim_quick.json)"
 # The perf profile matches the committed baseline's host.profile, so the
 # regression gate below compares like with like.

@@ -10,12 +10,13 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mseh::core::{classify, render_table};
+use mseh::daemon::{make_env, make_policy, parse_system, SystemCatalog};
 use mseh::env::Environment;
-use mseh::node::{
-    DayProfileForecast, DutyCyclePolicy, EnergyNeutral, FixedDuty, SensorNode, VoltageThreshold,
-};
+use mseh::node::{FixedDuty, SensorNode};
+use mseh::sim::serve::{serve, ServeConfig};
 use mseh::sim::{run_simulation, SimConfig};
 use mseh::systems::{all_systems, SystemId};
 use mseh::units::{DutyCycle, Seconds};
@@ -30,10 +31,13 @@ USAGE:
                   [--policy POLICY] [--record FILE.csv]
     mseh sweep-buffer [--days N] [--seed N]
     mseh survey [--env ENV] [--days N] [--seed N]
+    mseh serve [--addr HOST:PORT] [--queue N] [--workers N]
 
 ENV:      outdoor (default) | winter | indoor | office | agricultural
 POLICY:   ladder (default) | neutral | forecast | fixed:<duty 0..1>
 RECORD:   writes store-voltage/harvest/duty time series as CSV
+SERVE:    long-running job daemon (default addr 127.0.0.1:7878); see the
+          README's \"Service mode\" section for the line protocol
 
 The full experiment suite (Table I, figures, E1-E10, ablations) lives in
 `cargo run --release -p mseh-bench --bin experiments`.";
@@ -60,7 +64,24 @@ enum Command {
         days: f64,
         seed: u64,
     },
+    Serve {
+        addr: String,
+        queue: usize,
+        workers: usize,
+    },
     Help,
+}
+
+/// The options each subcommand accepts; anything else is an error, not
+/// a silent no-op.
+fn allowed_options(sub: &str) -> &'static [&'static str] {
+    match sub {
+        "simulate" => &["system", "env", "days", "seed", "policy", "record"],
+        "sweep-buffer" => &["days", "seed"],
+        "survey" => &["env", "days", "seed"],
+        "serve" => &["addr", "queue", "workers"],
+        _ => &[],
+    }
 }
 
 /// Parses arguments (first element is the subcommand, no program name).
@@ -72,21 +93,38 @@ fn parse(args: &[String]) -> Result<Command, String> {
     };
     let mut opts = std::collections::HashMap::new();
     let rest: Vec<&String> = it.collect();
+    let allowed = allowed_options(sub);
     let mut i = 0;
     while i < rest.len() {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {:?}", rest[i]))?;
+        if !allowed.contains(&key) {
+            return Err(format!("unknown option --{key} for {sub}"));
+        }
         let value = rest
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
-        opts.insert(key.to_owned(), (*value).clone());
+        // A following `--option` is the next flag, not this option's
+        // value — without this check `--record --days 3` would silently
+        // store "--days" as the record path and run with default days.
+        if value.starts_with("--") {
+            return Err(format!("--{key} needs a value, got option {value:?}"));
+        }
+        if opts.insert(key.to_owned(), (*value).clone()).is_some() {
+            return Err(format!("duplicate option --{key}"));
+        }
         i += 2;
     }
     let days = |default: f64| -> Result<f64, String> {
-        opts.get("days").map_or(Ok(default), |v| {
-            v.parse().map_err(|e| format!("--days: {e}"))
-        })
+        let days: f64 = match opts.get("days") {
+            None => default,
+            Some(v) => v.parse().map_err(|e| format!("--days: {e}"))?,
+        };
+        if !days.is_finite() || days <= 0.0 {
+            return Err(format!("--days must be positive and finite, got {days}"));
+        }
+        Ok(days)
     };
     let seed = || -> Result<u64, String> {
         opts.get("seed")
@@ -96,16 +134,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
         "table1" => Ok(Command::Table1),
         "systems" => Ok(Command::Systems),
         "simulate" => {
-            let system = match opts.get("system").map(String::as_str).unwrap_or("A") {
-                "A" | "a" => SystemId::A,
-                "B" | "b" => SystemId::B,
-                "C" | "c" => SystemId::C,
-                "D" | "d" => SystemId::D,
-                "E" | "e" => SystemId::E,
-                "F" | "f" => SystemId::F,
-                "G" | "g" => SystemId::G,
-                other => return Err(format!("unknown system {other:?} (use A..G)")),
-            };
+            let system = parse_system(opts.get("system").map(String::as_str).unwrap_or("A"))?;
             Ok(Command::Simulate {
                 system,
                 env: opts.get("env").cloned().unwrap_or_else(|| "outdoor".into()),
@@ -127,36 +156,29 @@ fn parse(args: &[String]) -> Result<Command, String> {
             days: days(3.0)?,
             seed: seed()?,
         }),
+        "serve" => {
+            let parse_count = |key: &str, default: usize| -> Result<usize, String> {
+                let n: usize = match opts.get(key) {
+                    None => default,
+                    Some(v) => v.parse().map_err(|e| format!("--{key}: {e}"))?,
+                };
+                if n == 0 {
+                    return Err(format!("--{key} must be at least 1"));
+                }
+                Ok(n)
+            };
+            Ok(Command::Serve {
+                addr: opts
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7878".into()),
+                queue: parse_count("queue", 8)?,
+                workers: parse_count("workers", 2)?,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command {other:?}")),
     }
-}
-
-fn make_env(kind: &str, seed: u64) -> Result<Environment, String> {
-    Ok(match kind {
-        "outdoor" => Environment::outdoor_temperate(seed),
-        "winter" => Environment::outdoor_winter(seed),
-        "indoor" => Environment::indoor_industrial(seed),
-        "office" => Environment::indoor_office(seed),
-        "agricultural" | "agri" => Environment::agricultural(seed),
-        other => return Err(format!("unknown env {other:?}")),
-    })
-}
-
-fn make_policy(spec: &str) -> Result<Box<dyn DutyCyclePolicy>, String> {
-    if let Some(duty) = spec.strip_prefix("fixed:") {
-        let d: f64 = duty.parse().map_err(|e| format!("fixed duty: {e}"))?;
-        if !(0.0..=1.0).contains(&d) {
-            return Err(format!("duty {d} outside 0..1"));
-        }
-        return Ok(Box::new(FixedDuty::new(DutyCycle::saturating(d))));
-    }
-    Ok(match spec {
-        "ladder" => Box::new(VoltageThreshold::supercap_ladder()),
-        "neutral" => Box::new(EnergyNeutral::new()),
-        "forecast" => Box::new(DayProfileForecast::new(Seconds::from_hours(14.0))),
-        other => return Err(format!("unknown policy {other:?}")),
-    })
 }
 
 fn run(cmd: Command) -> Result<(), String> {
@@ -282,6 +304,30 @@ fn run(cmd: Command) -> Result<(), String> {
                 println!("{farads:>8.0} | {:>7.2} %", result.uptime * 100.0);
             }
         }
+        Command::Serve {
+            addr,
+            queue,
+            workers,
+        } => {
+            let handle = serve(
+                &addr,
+                Arc::new(SystemCatalog),
+                ServeConfig {
+                    queue_capacity: queue,
+                    workers,
+                    ..ServeConfig::default()
+                },
+            )
+            .map_err(|e| format!("binding {addr}: {e}"))?;
+            // The exact bound address on its own line, so scripts using
+            // an ephemeral port (--addr 127.0.0.1:0) can scrape it.
+            println!("mseh serve listening on {}", handle.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            // Blocks until a client sends the wire `shutdown` verb.
+            handle.wait();
+            println!("mseh serve stopped");
+        }
     }
     Ok(())
 }
@@ -370,6 +416,67 @@ mod tests {
         assert!(parse(&argv("simulate --days")).is_err());
         assert!(parse(&argv("simulate days 3")).is_err());
         assert!(parse(&argv("simulate --system Z")).is_err());
+    }
+
+    #[test]
+    fn rejects_option_swallowing_another_option() {
+        // Regression: `--record` used to consume `--days` as its value,
+        // silently dropping the duration override.
+        let err = parse(&argv("simulate --record --days 3")).unwrap_err();
+        assert!(err.contains("--record"), "{err}");
+        assert!(err.contains("--days"), "{err}");
+        // A value that merely *contains* dashes is still fine.
+        assert!(parse(&argv("simulate --policy fixed:0.25")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_options() {
+        // Regression: misspelled options used to be silently ignored.
+        let err = parse(&argv("simulate --dys 3")).unwrap_err();
+        assert!(err.contains("--dys"), "{err}");
+        let err = parse(&argv("survey --policy ladder")).unwrap_err();
+        assert!(err.contains("--policy"), "{err}");
+        let err = parse(&argv("simulate --days 1 --days 2")).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_positive_or_non_finite_days() {
+        assert!(parse(&argv("simulate --days 0")).is_err());
+        assert!(parse(&argv("simulate --days -1")).is_err());
+        assert!(parse(&argv("simulate --days nan")).is_err());
+        assert!(parse(&argv("simulate --days inf")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_options() {
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                addr,
+                queue,
+                workers,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7878");
+                assert_eq!(queue, 8);
+                assert_eq!(workers, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve --addr 127.0.0.1:0 --queue 3 --workers 1")).unwrap() {
+            Command::Serve {
+                addr,
+                queue,
+                workers,
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(queue, 3);
+                assert_eq!(workers, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --queue 0")).is_err());
+        assert!(parse(&argv("serve --workers 0")).is_err());
+        assert!(parse(&argv("serve --days 2")).is_err());
     }
 
     #[test]

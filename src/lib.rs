@@ -43,6 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
+
 pub use mseh_core as core;
 pub use mseh_env as env;
 pub use mseh_harvesters as harvesters;
