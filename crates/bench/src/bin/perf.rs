@@ -26,15 +26,16 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use mseh_core::{PortRequirement, PowerUnit, StoreRole};
 use mseh_env::{EnvJitter, Environment};
 use mseh_harvesters::PvModule;
-use mseh_node::{FixedDuty, SensorNode, VoltageThreshold};
+use mseh_node::{FixedDuty, MonitoringLevel, SensorNode, VoltageThreshold};
 use mseh_power::{DcDcConverter, FractionalVoc, IdealDiode, InputChannel};
 use mseh_sim::{
     run_fleet, run_resilience_campaign_with_threads, run_seed_ensemble_seq,
     run_seed_ensemble_with_threads, run_simulation, run_simulation_observed, CampaignConfig,
-    ConservationAuditor, DenseGroup, DenseSolveTier, DenseStore, FleetConfig, FleetGroup,
-    FleetSpec, FleetSummary, MetricsObserver, Platform, SimConfig, SimResult, Tandem,
+    ConservationAuditor, DenseClass, DenseGroup, DenseSolveTier, DenseStore, FleetConfig,
+    FleetGroup, FleetSpec, FleetSummary, MetricsObserver, Platform, SimConfig, SimResult, Tandem,
 };
 use mseh_storage::{Battery, Supercap};
 use mseh_systems::{resilience, SystemId};
@@ -60,6 +61,18 @@ const SEEDS: [u64; 16] = [
 /// Mantissa bits dropped by the quantized kernel-cache key tier in the
 /// per-scenario-class hit-rate survey (relative input error < 2⁻⁸).
 const QUANTIZE_DROP_BITS: u32 = 44;
+
+/// Fixed scale for the batched-tier rate rows: the same population and
+/// horizon in quick and full mode, so check.sh's quick-vs-committed
+/// regression gates compare identical specs. The uniform fast path
+/// makes lane rates strongly scale-dependent (a homogeneous population
+/// steps as one lane until duties diverge), so a quick-scale rate is
+/// not comparable to the committed full-scale one; the batched tier is
+/// cheap enough to time at full scale even in quick mode, while the
+/// scalar references are per-node-bound, scale-robust, and stay at the
+/// mode's budget.
+const BATCHED_RATE_NODES: usize = 200_000;
+const BATCHED_RATE_HOURS: f64 = 24.0;
 
 fn duty() -> FixedDuty {
     FixedDuty::new(DutyCycle::saturating(0.05))
@@ -138,6 +151,57 @@ fn dense_supercap_fleet_spec(count: usize) -> FleetSpec {
     spec
 }
 
+/// Boxed PV + NiMH fleet matching `dense_battery_group`'s class. With
+/// `opt_in` the group declares that class via `with_dense_class`, so
+/// the engine steps the members on the lane kernels while keeping
+/// boxed per-node bookkeeping; without it the same factories run
+/// through plain boxed `Platform::step` calls.
+fn boxed_battery_fleet_spec(count: usize, opt_in: bool) -> FleetSpec {
+    let mut battery = Battery::nimh_aa_pair();
+    battery.set_soc(0.5);
+    let template = battery.clone();
+    let mut spec = FleetSpec::new();
+    let site = spec.add_site(Environment::outdoor_temperate(42));
+    let mut group = FleetGroup::new(
+        "boxed solar+NiMH",
+        count,
+        site,
+        SensorNode::submilliwatt_class(),
+        move |_| {
+            Box::new(
+                PowerUnit::builder("boxed solar+NiMH")
+                    .harvester_port(
+                        PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+                        Some(pv_channel()),
+                        true,
+                    )
+                    .store_port(
+                        PortRequirement::any_in_window("battery", Volts::ZERO, Volts::new(3.0)),
+                        Some(Box::new(battery.clone())),
+                        StoreRole::PrimaryBuffer,
+                        true,
+                    )
+                    .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+                    .build(),
+            )
+        },
+        |_| Box::new(duty()),
+    )
+    .with_seed(6);
+    if opt_in {
+        group = group.with_dense_class(
+            DenseClass::new(
+                pv_channel,
+                DcDcConverter::buck_boost_3v3(),
+                DenseStore::Battery(template),
+            )
+            .with_monitoring(MonitoringLevel::None),
+        );
+    }
+    spec.add_group(group);
+    spec
+}
+
 /// Mixed-lane fleet: boxed System C platforms alongside dense battery-
 /// and supercap-class groups, `10 × scale` nodes total.
 fn mixed_fleet_spec(scale: usize) -> FleetSpec {
@@ -165,17 +229,31 @@ fn mixed_fleet_spec(scale: usize) -> FleetSpec {
     spec
 }
 
+/// Repetitions for the gated fixed-scale rate rows: those spans are
+/// only ~0.1 s each on the lane kernels, so the minimum over a few
+/// extra passes is what keeps the check.sh floors out of host noise
+/// (the added cost is negligible at these rates).
+const RATE_ROW_REPS: usize = 5;
+
 /// Two timed passes of one fleet configuration, keeping the faster;
 /// asserts the repetitions are bit-identical.
 fn time_fleet(spec: &FleetSpec, config: FleetConfig) -> (f64, FleetSummary) {
+    time_fleet_reps(spec, config, 2)
+}
+
+/// `time_fleet` with a caller-chosen repetition count, keeping the
+/// minimum; asserts every repetition is bit-identical to the first.
+fn time_fleet_reps(spec: &FleetSpec, config: FleetConfig, reps: usize) -> (f64, FleetSummary) {
     let start = Instant::now();
     let first = run_fleet(spec, config).summary;
-    let first_secs = start.elapsed().as_secs_f64();
-    let start = Instant::now();
-    let second = run_fleet(spec, config).summary;
-    let second_secs = start.elapsed().as_secs_f64();
-    assert_eq!(first, second, "fleet repetitions must be bit-identical");
-    (first_secs.min(second_secs), first)
+    let mut best = start.elapsed().as_secs_f64();
+    for _ in 1..reps {
+        let start = Instant::now();
+        let again = run_fleet(spec, config).summary;
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(first, again, "fleet repetitions must be bit-identical");
+    }
+    (best, first)
 }
 
 /// Step count for a config, matching the runner's truncate-plus-
@@ -622,10 +700,15 @@ fn main() {
     // reported alongside so the headline can't be mistaken for the
     // engine's universal rate. Speedups are against this run's own
     // single-run steps/s, measured above on the same host and profile.
-    let (dense_n, dense_h, jitter_n, jitter_h, mixed_scale, mixed_h) = if quick {
-        (20_000, 24.0, 10_000, 2.0, 1_000, 1.0)
+    // The headline dense row is gated by check.sh against the committed
+    // baseline, so it runs at the fixed rate scale in both modes; the
+    // jittered and mixed rows step per node and stay at the mode's
+    // budget.
+    let (dense_n, dense_h) = (BATCHED_RATE_NODES, BATCHED_RATE_HOURS);
+    let (jitter_n, jitter_h, mixed_scale, mixed_h) = if quick {
+        (10_000, 2.0, 1_000, 1.0)
     } else {
-        (200_000, 24.0, 100_000, 6.0, 10_000, 2.0)
+        (100_000, 6.0, 10_000, 2.0)
     };
     struct FleetRow {
         name: &'static str,
@@ -634,27 +717,31 @@ fn main() {
         summary: FleetSummary,
     }
     let mut fleet_rows = Vec::new();
-    for (name, lane, spec, hours) in [
+    for (name, lane, spec, hours, reps) in [
         (
             "dense solar+NiMH (battery class)",
             "dense",
             dense_fleet_spec(dense_n, None),
             dense_h,
+            RATE_ROW_REPS,
         ),
         (
             "dense solar+NiMH, 15% env jitter",
             "dense (per-node tables)",
             dense_fleet_spec(jitter_n, Some(0.15)),
             jitter_h,
+            2,
         ),
         (
             "mixed boxed System C + dense battery/EDLC",
             "mixed",
             mixed_fleet_spec(mixed_scale),
             mixed_h,
+            2,
         ),
     ] {
-        let (seconds, summary) = time_fleet(&spec, FleetConfig::over(Seconds::from_hours(hours)));
+        let (seconds, summary) =
+            time_fleet_reps(&spec, FleetConfig::over(Seconds::from_hours(hours)), reps);
         assert!(summary.audit_relative < 1e-6);
         assert!(summary.worst_node_audit < 1e-6);
         let rate = summary.node_steps as f64 / seconds;
@@ -683,7 +770,7 @@ fn main() {
     let (cap_n, cap_h) = if quick { (5_000, 2.0) } else { (50_000, 24.0) };
     let cap_spec = dense_supercap_fleet_spec(cap_n);
     let cap_horizon = Seconds::from_hours(cap_h);
-    let (cap_secs, cap_summary) = time_fleet(
+    let (_, cap_summary) = time_fleet(
         &cap_spec,
         FleetConfig::over(cap_horizon).with_dense_tier(DenseSolveTier::Batched),
     );
@@ -706,10 +793,23 @@ fn main() {
     );
     assert!(cap_interp_summary.audit_relative < 1e-6);
     assert!(cap_interp_summary.worst_node_audit < 1e-6);
-    let cap_population = cap_summary.population;
-    let cap_steps_per_node = cap_summary.steps_per_node;
-    let cap_rate = cap_summary.node_steps as f64 / cap_secs;
-    let cap_scalar_rate = cap_summary.node_steps as f64 / cap_scalar_secs;
+    // The gated rate row runs at the fixed baseline scale in both modes
+    // (see BATCHED_RATE_NODES) so check.sh compares identical specs;
+    // the equality assert and the scalar/interp references above stay
+    // at the mode's budget. In full mode the equality spec is smaller
+    // only because its scalar reference is per-node-bound.
+    let cap_rate_horizon = Seconds::from_hours(BATCHED_RATE_HOURS);
+    let (cap_rate_secs, cap_rate_summary) = time_fleet_reps(
+        &dense_supercap_fleet_spec(BATCHED_RATE_NODES),
+        FleetConfig::over(cap_rate_horizon).with_dense_tier(DenseSolveTier::Batched),
+        RATE_ROW_REPS,
+    );
+    assert!(cap_rate_summary.audit_relative < 1e-6);
+    assert!(cap_rate_summary.worst_node_audit < 1e-6);
+    let cap_population = cap_rate_summary.population;
+    let cap_steps_per_node = cap_rate_summary.steps_per_node;
+    let cap_rate = cap_rate_summary.node_steps as f64 / cap_rate_secs;
+    let cap_scalar_rate = cap_scalar_summary.node_steps as f64 / cap_scalar_secs;
     let cap_interp_rate = cap_interp_summary.node_steps as f64 / cap_interp_secs;
     let cap_speedup = cap_rate / cap_scalar_rate;
     println!(
@@ -724,9 +824,94 @@ fn main() {
     fleet_rows.push(FleetRow {
         name: "dense solar+EDLC (supercap class)",
         lane: "dense (batched SoA)",
-        seconds: cap_secs,
-        summary: cap_summary,
+        seconds: cap_rate_secs,
+        summary: cap_rate_summary,
     });
+
+    // --- Dense battery lane: batched vs scalar solve tiers. ---------
+    // Same gate as the supercap lane: full-summary equality first,
+    // then the recorded rates. The batched battery lane shares one
+    // keep-fraction powf per distinct dt across the population and
+    // rides the uniform fast path while a homogeneous population's
+    // duties agree.
+    let (batt_n, batt_h) = if quick { (5_000, 2.0) } else { (50_000, 24.0) };
+    let batt_spec = dense_fleet_spec(batt_n, None);
+    let batt_horizon = Seconds::from_hours(batt_h);
+    let (_, batt_summary) = time_fleet(
+        &batt_spec,
+        FleetConfig::over(batt_horizon).with_dense_tier(DenseSolveTier::Batched),
+    );
+    let (batt_scalar_secs, batt_scalar_summary) = time_fleet(
+        &batt_spec,
+        FleetConfig::over(batt_horizon).with_dense_tier(DenseSolveTier::Scalar),
+    );
+    // Un-jittered dense groups replay the shared harvest table on both
+    // tiers, so even the cache counters agree: full summary equality.
+    assert_eq!(
+        batt_summary, batt_scalar_summary,
+        "batched battery tier diverged from the scalar reference"
+    );
+    assert!(batt_summary.audit_relative < 1e-6);
+    assert!(batt_summary.worst_node_audit < 1e-6);
+    // Gated rate row at the fixed baseline scale, as for the supercap
+    // lane above; the scalar reference stays at the mode's budget.
+    let batt_rate_horizon = Seconds::from_hours(BATCHED_RATE_HOURS);
+    let (batt_rate_secs, batt_rate_summary) = time_fleet_reps(
+        &dense_fleet_spec(BATCHED_RATE_NODES, None),
+        FleetConfig::over(batt_rate_horizon).with_dense_tier(DenseSolveTier::Batched),
+        RATE_ROW_REPS,
+    );
+    assert!(batt_rate_summary.audit_relative < 1e-6);
+    assert!(batt_rate_summary.worst_node_audit < 1e-6);
+    let batt_population = batt_rate_summary.population;
+    let batt_steps_per_node = batt_rate_summary.steps_per_node;
+    let batt_rate = batt_rate_summary.node_steps as f64 / batt_rate_secs;
+    let batt_scalar_rate = batt_scalar_summary.node_steps as f64 / batt_scalar_secs;
+    let batt_speedup = batt_rate / batt_scalar_rate;
+    println!(
+        "fleet      : dense solar+NiMH (battery class): {batt_population} nodes \u{d7} \
+         {batt_steps_per_node} steps, batched {:.2} M node-steps/s vs scalar {:.2} M \
+         (\u{d7}{batt_speedup:.1}), batched \u{2261} scalar",
+        batt_rate / 1e6,
+        batt_scalar_rate / 1e6,
+    );
+
+    // --- Boxed opt-in: the same battery class via with_dense_class. --
+    // The opted-in group must agree with the plain boxed path on every
+    // physical quantity (cache counters are synthesized on the lane
+    // side, so the comparison is modulo kernel_cache).
+    let (opt_n, opt_h) = if quick { (2_000, 2.0) } else { (20_000, 6.0) };
+    let opt_horizon = Seconds::from_hours(opt_h);
+    let (optin_secs, optin_summary) = time_fleet(
+        &boxed_battery_fleet_spec(opt_n, true),
+        FleetConfig::over(opt_horizon),
+    );
+    let (plainbox_secs, plainbox_summary) = time_fleet(
+        &boxed_battery_fleet_spec(opt_n, false),
+        FleetConfig::over(opt_horizon),
+    );
+    let strip_cache = |mut s: FleetSummary| {
+        s.kernel_cache = Default::default();
+        s
+    };
+    assert_eq!(
+        strip_cache(optin_summary.clone()),
+        strip_cache(plainbox_summary.clone()),
+        "opted-in boxed group diverged from the plain boxed path"
+    );
+    assert!(optin_summary.audit_relative < 1e-6);
+    assert!(optin_summary.worst_node_audit < 1e-6);
+    let optin_population = optin_summary.population;
+    let optin_rate = optin_summary.node_steps as f64 / optin_secs;
+    let plainbox_rate = plainbox_summary.node_steps as f64 / plainbox_secs;
+    let optin_speedup = optin_rate / plainbox_rate;
+    println!(
+        "fleet      : boxed solar+NiMH opt-in: {optin_population} nodes, opted-in {:.2} M \
+         node-steps/s vs plain boxed {:.2} M (\u{d7}{optin_speedup:.1}), \
+         opted-in \u{2261} boxed modulo cache counters",
+        optin_rate / 1e6,
+        plainbox_rate / 1e6,
+    );
 
     // --- Resilience campaign: fault-injection throughput + summary. -
     // System D (MPWiNode) in its agricultural deployment, primary store
@@ -772,7 +957,7 @@ fn main() {
     // --- Emit BENCH_sim.json. ---------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v6\",");
+    let _ = writeln!(json, "  \"schema\": \"mseh-bench/perf/v7\",");
     let _ = writeln!(
         json,
         "  \"scenario\": \"System C, outdoor temperate, 60 s steps, fixed 5% duty\","
@@ -949,6 +1134,48 @@ fn main() {
         "      \"interp_max_deviation\": {:.3e}",
         cap_interp_summary.interp_max_deviation
     );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"dense_battery_batched\": {{");
+    let _ = writeln!(json, "      \"population\": {batt_population},");
+    let _ = writeln!(json, "      \"steps_per_node\": {batt_steps_per_node},");
+    let _ = writeln!(json, "      \"threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "      \"dense_battery_batched_matches_scalar\": true,"
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_battery_batched_node_steps_per_sec\": {batt_rate:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_battery_batched_per_core_node_steps_per_sec\": {:.1},",
+        batt_rate / host_threads as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_battery_scalar_node_steps_per_sec\": {batt_scalar_rate:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"dense_battery_batched_speedup_vs_scalar\": {batt_speedup:.2},"
+    );
+    let _ = writeln!(json, "      \"boxed_opt_in\": {{");
+    let _ = writeln!(json, "        \"population\": {optin_population},");
+    let _ = writeln!(json, "        \"matches_plain_boxed_modulo_cache\": true,");
+    let _ = writeln!(
+        json,
+        "        \"boxed_opt_in_node_steps_per_sec\": {optin_rate:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "        \"boxed_plain_node_steps_per_sec\": {plainbox_rate:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "        \"boxed_opt_in_speedup_vs_plain\": {optin_speedup:.2}"
+    );
+    let _ = writeln!(json, "      }}");
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"campaign\": {{");

@@ -50,16 +50,21 @@
 //! [`mseh_core::PowerUnit`] in a boxed [`FleetGroup`] — the tests assert
 //! it — the lane only removes redundant work, never changes arithmetic.
 //!
-//! Supercap dense groups additionally step on a **batched
-//! struct-of-arrays tier** ([`DenseSolveTier`]): contiguous runs of
-//! member nodes become lanes of one [`mseh_storage::SupercapLanes`]
-//! population, and the per-step energy→voltage Newton inversions run as
-//! masked fixed-iteration passes over contiguous `f64` arrays instead of
-//! one call per node. The batch kernels replicate the scalar iterate
-//! sequence exactly (see [`mseh_units::BatchSolve`]), so the batched
-//! tier is bit-identical to the scalar one; an opt-in interpolation tier
-//! trades exact voltages for a table lookup with a recorded deviation
-//! bound ([`FleetSummary::interp_max_deviation`]).
+//! Dense groups additionally step on a **batched struct-of-arrays
+//! tier** ([`DenseSolveTier`]): contiguous runs of member nodes become
+//! lanes of one [`mseh_storage::SupercapLanes`] or
+//! [`mseh_storage::BatteryLanes`] population, and the per-step store
+//! updates run as masked whole-lane passes over contiguous `f64`
+//! arrays instead of one call per node (supercap energy→voltage Newton
+//! inversions as fixed-iteration batch passes, battery self-discharge
+//! as one `powf` per distinct idle `dt` lane-wide). The batch kernels
+//! replicate the scalar iterate sequence exactly (see
+//! [`mseh_units::BatchSolve`]), so the batched tier is bit-identical to
+//! the scalar one; an opt-in interpolation tier trades exact supercap
+//! voltages for a table lookup with a recorded deviation bound
+//! ([`FleetSummary::interp_max_deviation`]). Boxed [`FleetGroup`]s
+//! whose members match a monomorphized class can borrow the same
+//! kernels via [`FleetGroup::with_dense_class`].
 //!
 //! # Examples
 //!
@@ -150,8 +155,14 @@ pub enum EnvCadence {
 /// [`FleetSummary::interp_max_deviation`], and the conservation audit
 /// still closes exactly (table residuals are charged to losses).
 ///
-/// The tier only affects supercap [`DenseGroup`]s; battery dense groups
-/// and boxed [`FleetGroup`]s always step scalar.
+/// The tier governs every [`DenseGroup`] — supercap-store *and*
+/// battery-store — plus boxed [`FleetGroup`]s opted in via
+/// [`FleetGroup::with_dense_class`]. Battery lanes have no iterative
+/// inversion to interpolate, so they step the exact batched kernels
+/// under [`Interpolated`](Self::Interpolated) too. Groups the gate
+/// cannot cover (jittered under per-step cadence, or a channel without
+/// window-lane support) fall back to the scalar path — same results,
+/// scalar speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DenseSolveTier {
     /// Per-node scalar [`mseh_storage::Storage`] calls — the reference
@@ -187,6 +198,10 @@ pub struct FleetGroup {
     node: SensorNode,
     platform: Box<PlatformFactory>,
     policy: Box<PolicyFactory>,
+    // Boxed: the class template embeds a full store and would otherwise
+    // dominate every FleetGroup's footprint (clippy: large_enum_variant
+    // on GroupEntry).
+    dense_class: Option<Box<DenseClass>>,
 }
 
 impl FleetGroup {
@@ -209,6 +224,7 @@ impl FleetGroup {
             node,
             platform: Box::new(platform),
             policy: Box::new(policy),
+            dense_class: None,
         }
     }
 
@@ -223,6 +239,31 @@ impl FleetGroup {
     /// pass-through).
     pub fn with_jitter(mut self, jitter: EnvJitter) -> Self {
         self.jitter = jitter;
+        self
+    }
+
+    /// Opts the group's members into the dense lane kernels by
+    /// declaring the monomorphized class they all match (see
+    /// [`DenseClass`]). When the batched gate is open
+    /// ([`DenseSolveTier`] other than scalar; jittered groups
+    /// additionally need per-window cadence and a window-batchable
+    /// channel) the engine solves the members on the struct-of-arrays
+    /// kernels instead of boxed [`Platform::step`] calls, keeping boxed
+    /// per-node bookkeeping (per-node seeds, policies and jitter
+    /// factors are derived exactly as the boxed path derives them).
+    ///
+    /// The declaration is a contract: every member the factory builds
+    /// must match the class. The engine verifies the first member at
+    /// run start — the platform must report
+    /// [`Platform::supports_dense_kernels`] and its storage books must
+    /// match the declared template bit for bit — and rejects the run
+    /// otherwise; heterogeneity beyond member 0 is the caller's
+    /// responsibility. Kernel-cache counters are synthesized from the
+    /// lane replay pattern rather than read from member channels, so
+    /// summaries match the plain boxed path everywhere except
+    /// [`FleetSummary::kernel_cache`].
+    pub fn with_dense_class(mut self, class: DenseClass) -> Self {
+        self.dense_class = Some(Box::new(class));
         self
     }
 
@@ -263,6 +304,69 @@ pub enum DenseStore {
     Supercap(Supercap),
     /// A battery buffer.
     Battery(Battery),
+}
+
+/// The monomorphized dense-lane class a boxed [`FleetGroup`] declares
+/// its members match so they may borrow the batched struct-of-arrays
+/// kernels ([`FleetGroup::with_dense_class`]): the concrete channel,
+/// output converter and store template plus the supervisor overhead and
+/// monitoring tier — the same parts a [`DenseGroup`] declares directly.
+///
+/// Defaults match [`DenseGroup::new`]: zero supervisor overhead and
+/// [`MonitoringLevel::Full`] reporting; override with the builders to
+/// mirror the members' actual supervisor.
+pub struct DenseClass {
+    channel: Box<ChannelFactory>,
+    output: DcDcConverter,
+    store: DenseStore,
+    supervisor_overhead: Watts,
+    monitoring: MonitoringLevel,
+}
+
+impl DenseClass {
+    /// Declares a class from its concrete parts. The channel factory
+    /// must build the same channel every member's platform carries;
+    /// the store template must match each member's device bit for bit
+    /// (the engine cross-checks capacity, stored energy and losses
+    /// against member 0 at run start).
+    pub fn new(
+        channel: impl Fn() -> InputChannel + Send + Sync + 'static,
+        output: DcDcConverter,
+        store: DenseStore,
+    ) -> Self {
+        Self {
+            channel: Box::new(channel),
+            output,
+            store,
+            supervisor_overhead: Watts::ZERO,
+            monitoring: MonitoringLevel::Full,
+        }
+    }
+
+    /// Sets the supervisory standing draw (the members'
+    /// `Supervisor::overhead`).
+    pub fn with_supervisor_overhead(mut self, overhead: Watts) -> Self {
+        self.supervisor_overhead = overhead;
+        self
+    }
+
+    /// Sets the monitoring tier (the members' `Supervisor::monitoring`;
+    /// the lane kernels model no sense-ADC quantization, which the
+    /// platform probe enforces).
+    pub fn with_monitoring(mut self, monitoring: MonitoringLevel) -> Self {
+        self.monitoring = monitoring;
+        self
+    }
+}
+
+impl core::fmt::Debug for DenseClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DenseClass")
+            .field("store", &self.store)
+            .field("supervisor_overhead", &self.supervisor_overhead)
+            .field("monitoring", &self.monitoring)
+            .finish_non_exhaustive()
+    }
 }
 
 /// A homogeneous platform class on the fleet's **dense lane**: `count`
@@ -503,7 +607,7 @@ pub struct FleetConfig {
     /// How many worst-uptime nodes to list in
     /// [`FleetSummary::stragglers`].
     pub stragglers: usize,
-    /// Solve tier for supercap dense groups (default
+    /// Solve tier for dense groups and opted-in boxed groups (default
     /// [`DenseSolveTier::Batched`], bit-identical to
     /// [`DenseSolveTier::Scalar`]).
     pub dense_tier: DenseSolveTier,
@@ -719,6 +823,7 @@ impl StepPlan {
 
 /// Everything the summary fold needs from one node, in plain scalars so
 /// shards stay cheap to ship back.
+#[derive(Clone)]
 struct NodeOutcome {
     uptime: f64,
     samples: f64,
@@ -1230,6 +1335,57 @@ pub fn run_fleet(spec: &FleetSpec, config: FleetConfig) -> FleetResult {
     }
 }
 
+/// Verifies a boxed group's declared [`DenseClass`] against its
+/// member-0 platform before the batched gate opens: the platform must
+/// report the dense-kernel shape
+/// ([`Platform::supports_dense_kernels`]) and its storage books must
+/// match the declared template bit for bit. Factories receive per-node
+/// seeds, so the engine can only spot-check the first member cheaply;
+/// the opt-in contract is that every member matches the class.
+fn validate_dense_class(g: &FleetGroup, class: &DenseClass) -> Result<(), String> {
+    let node_seed = Noise::new(g.seed).bits(NODE_SEED_STREAM, 0);
+    let platform = (g.platform)(node_seed);
+    if !platform.supports_dense_kernels() {
+        return Err(format!(
+            "group '{}': platform '{}' cannot borrow the dense kernels (the class needs exactly \
+             one channel-backed harvester port, one primary-buffer store, no shared ports and no \
+             sense-ADC status quantization)",
+            g.name,
+            platform.name(),
+        ));
+    }
+    let store: &dyn Storage = match &class.store {
+        DenseStore::Supercap(s) => s,
+        DenseStore::Battery(b) => b,
+    };
+    let checks = [
+        ("capacity", platform.storage_capacity(), store.capacity()),
+        (
+            "stored energy",
+            platform.total_stored_energy(),
+            store.stored_energy(),
+        ),
+        ("losses", platform.storage_losses(), store.losses()),
+    ];
+    for (what, got, want) in checks {
+        if got.value().to_bits() != want.value().to_bits() {
+            return Err(format!(
+                "group '{}': declared dense-class store {what} {want} does not match the member \
+                 platform's {got}",
+                g.name,
+            ));
+        }
+    }
+    if platform.fault_counts() != (0, 0) || platform.stranded_energy() != Joules::ZERO {
+        return Err(format!(
+            "group '{}': platforms with active fault-injection wrappers cannot borrow the dense \
+             kernels",
+            g.name,
+        ));
+    }
+    Ok(())
+}
+
 /// [`run_fleet`] as a daemon-facing entry point: spec/config validation
 /// errors come back as `Err` instead of panicking, and a
 /// [`FleetControl`] supplies optional cooperative cancellation
@@ -1294,61 +1450,91 @@ pub fn run_fleet_controlled(
         cursor += g.count() as u64;
     }
 
-    // Un-jittered dense groups share one harvest table group-wide: the
-    // driver channel solves each control window once and every member
-    // replays it. Jittered dense nodes drive their own channel inside
-    // the shard (their conditions differ), still once per window. The
-    // driver's solve counters are folded into the summary once per
-    // group, after the per-node fold.
-    let mut dense_tables: Vec<Option<(Vec<HarvestStep>, CacheStats)>> =
-        Vec::with_capacity(spec.groups.len());
+    // Dense groups — supercap- and battery-store — step on the
+    // struct-of-arrays batched tier unless the config pins `Scalar`,
+    // and boxed groups with a declared [`DenseClass`] borrow the same
+    // kernels. Unjittered groups always qualify (their lanes replay the
+    // shared harvest table); jittered groups need a window-batchable
+    // channel under per-window cadence — probed once per group — and
+    // otherwise fall back to their scalar path. An opted-in boxed group
+    // whose member platform contradicts its declared class is a spec
+    // error, caught here before any node steps.
+    let mut batched: Vec<bool> = Vec::with_capacity(spec.groups.len());
     for entry in &spec.groups {
-        dense_tables.push(match entry {
-            GroupEntry::Dense(g) if g.jitter.is_none() => {
-                let mut channel = (g.channel)();
-                if plan.quantize_drop_bits.is_some() {
-                    channel.set_cache_quantization(plan.quantize_drop_bits);
-                }
-                let mut table = Vec::new();
-                if build_harvest_table(
-                    &mut channel,
-                    &tables[g.site],
-                    &JitterFactors::IDENTITY,
-                    false,
-                    &plan,
-                    cancel,
-                    &mut table,
-                )
-                .is_none()
-                {
-                    return Ok(None);
-                }
-                Some((table, channel.kernel_cache_stats()))
-            }
-            _ => None,
-        });
-    }
-
-    // Supercap dense groups step on the struct-of-arrays batched tier
-    // unless the config pins `Scalar`. Unjittered groups always qualify
-    // (their lanes replay the shared harvest table); jittered groups
-    // need a window-batchable channel under per-window cadence — probed
-    // once per group — and otherwise fall back to the scalar dense path.
-    let batched: Vec<bool> = spec
-        .groups
-        .iter()
-        .map(|entry| match entry {
-            GroupEntry::Dense(g)
-                if matches!(g.store, DenseStore::Supercap(_))
-                    && config.dense_tier != DenseSolveTier::Scalar =>
-            {
+        let open = match entry {
+            GroupEntry::Dense(g) if config.dense_tier != DenseSolveTier::Scalar => {
                 g.jitter.is_none()
                     || (plan.cadence == EnvCadence::PerWindow
                         && (g.channel)().supports_window_lanes(plan.dt))
             }
+            GroupEntry::Boxed(g) if config.dense_tier != DenseSolveTier::Scalar => {
+                match &g.dense_class {
+                    Some(class) => {
+                        let open = g.jitter.is_none()
+                            || (plan.cadence == EnvCadence::PerWindow
+                                && (class.channel)().supports_window_lanes(plan.dt));
+                        if open {
+                            validate_dense_class(g, class)?;
+                        }
+                        open
+                    }
+                    None => false,
+                }
+            }
             _ => false,
-        })
-        .collect();
+        };
+        batched.push(open);
+    }
+
+    // Un-jittered dense classes share one harvest table group-wide: the
+    // driver channel solves each control window once and every member
+    // replays it. Jittered dense nodes drive their own channel inside
+    // the shard (their conditions differ), still once per window. The
+    // driver's solve counters are folded into the summary once per
+    // group, after the per-node fold. Opted-in boxed groups get a table
+    // only when their batched gate is open — otherwise they run plain
+    // boxed and a table would skew the cache fold.
+    let build_group_table =
+        |factory: &ChannelFactory, site: usize| -> Option<(Vec<HarvestStep>, CacheStats)> {
+            let mut channel = factory();
+            if plan.quantize_drop_bits.is_some() {
+                channel.set_cache_quantization(plan.quantize_drop_bits);
+            }
+            let mut table = Vec::new();
+            build_harvest_table(
+                &mut channel,
+                &tables[site],
+                &JitterFactors::IDENTITY,
+                false,
+                &plan,
+                cancel,
+                &mut table,
+            )
+            .map(|_| (table, channel.kernel_cache_stats()))
+        };
+    let mut dense_tables: Vec<Option<(Vec<HarvestStep>, CacheStats)>> =
+        Vec::with_capacity(spec.groups.len());
+    for (gi, entry) in spec.groups.iter().enumerate() {
+        dense_tables.push(match entry {
+            GroupEntry::Dense(g) if g.jitter.is_none() => {
+                match build_group_table(g.channel.as_ref(), g.site) {
+                    Some(built) => Some(built),
+                    None => return Ok(None),
+                }
+            }
+            GroupEntry::Boxed(g) if batched[gi] && g.jitter.is_none() => {
+                let class = g
+                    .dense_class
+                    .as_ref()
+                    .expect("batched boxed group declared a dense class");
+                match build_group_table(class.channel.as_ref(), g.site) {
+                    Some(built) => Some(built),
+                    None => return Ok(None),
+                }
+            }
+            _ => None,
+        });
+    }
 
     let shard_size = if config.shard_size == 0 {
         1024
@@ -1385,32 +1571,81 @@ pub fn run_fleet_controlled(
             }
             let run_end = hi.min(spans[gi].1);
             // Batched struct-of-arrays tier: the shard's contiguous run
-            // of this supercap dense group steps as one lane population.
-            // Run composition never changes results — every lane's
-            // arithmetic is independent of its companions — so shard and
-            // thread geometry stay bit-irrelevant.
+            // of this dense class — a dense group of either store kind,
+            // or a boxed group opted in via its declared class — steps
+            // as one lane population. Run composition never changes
+            // results — every lane's arithmetic is independent of its
+            // companions — so shard and thread geometry stay
+            // bit-irrelevant.
             if batched[gi] {
-                if let GroupEntry::Dense(g) = &spec.groups[gi] {
-                    if let DenseStore::Supercap(template) = &g.store {
-                        if !dense_lanes::simulate_supercap_run(
-                            g,
-                            template,
-                            spans[gi].0,
-                            cursor,
-                            run_end,
-                            &tables[g.site],
-                            dense_tables[gi].as_ref().map(|(t, _)| t.as_slice()),
-                            &plan,
-                            config.dense_tier,
-                            cancel,
-                            &mut out,
-                        ) {
-                            return out;
-                        }
-                        cursor = run_end;
-                        continue;
+                let (view, store) = match &spec.groups[gi] {
+                    GroupEntry::Dense(g) => (
+                        dense_lanes::DenseView {
+                            seed: g.seed,
+                            jitter: g.jitter,
+                            node: &g.node,
+                            channel: g.channel.as_ref(),
+                            output: &g.output,
+                            supervisor_overhead: g.supervisor_overhead,
+                            monitoring: g.monitoring,
+                            policy: g.policy.as_ref(),
+                        },
+                        &g.store,
+                    ),
+                    GroupEntry::Boxed(g) => {
+                        let class = g
+                            .dense_class
+                            .as_ref()
+                            .expect("batched boxed group declared a dense class");
+                        (
+                            dense_lanes::DenseView {
+                                seed: g.seed,
+                                jitter: g.jitter,
+                                node: &g.node,
+                                channel: class.channel.as_ref(),
+                                output: &class.output,
+                                supervisor_overhead: class.supervisor_overhead,
+                                monitoring: class.monitoring,
+                                policy: g.policy.as_ref(),
+                            },
+                            &class.store,
+                        )
                     }
+                };
+                let site = spec.groups[gi].site();
+                let shared = dense_tables[gi].as_ref().map(|(t, _)| t.as_slice());
+                let ok = match store {
+                    DenseStore::Supercap(template) => dense_lanes::simulate_supercap_run(
+                        &view,
+                        template,
+                        spans[gi].0,
+                        cursor,
+                        run_end,
+                        &tables[site],
+                        shared,
+                        &plan,
+                        config.dense_tier,
+                        cancel,
+                        &mut out,
+                    ),
+                    DenseStore::Battery(template) => dense_lanes::simulate_battery_run(
+                        &view,
+                        template,
+                        spans[gi].0,
+                        cursor,
+                        run_end,
+                        &tables[site],
+                        shared,
+                        &plan,
+                        cancel,
+                        &mut out,
+                    ),
+                };
+                if !ok {
+                    return out;
                 }
+                cursor = run_end;
+                continue;
             }
             for n in cursor..run_end {
                 let within = n - spans[gi].0;
@@ -2038,6 +2273,314 @@ mod tests {
         let reference = run(1, 21);
         for (threads, shard) in [(2, 4), (4, 1024), (3, 1)] {
             assert_eq!(run(threads, shard), reference, "{threads}t/{shard}s");
+        }
+    }
+
+    #[test]
+    fn dense_battery_batched_matches_scalar_bitwise() {
+        let mut nimh = Battery::nimh_aa_pair();
+        nimh.set_soc(0.5);
+        let build = |jitter: EnvJitter| {
+            let mut spec = FleetSpec::new();
+            let site = spec.add_site(Environment::outdoor_temperate(31));
+            spec.add_dense_group(
+                DenseGroup::new(
+                    "pv + nimh",
+                    23,
+                    site,
+                    SensorNode::submilliwatt_class(),
+                    solar_channel,
+                    DcDcConverter::buck_boost_3v3(),
+                    DenseStore::Battery(nimh.clone()),
+                    // Heterogeneous duties: the uniform fast path must
+                    // materialize the full population on divergence.
+                    |seed| {
+                        let d = 0.02 + 0.06 * (seed % 5) as f64 / 5.0;
+                        Box::new(FixedDuty::new(DutyCycle::saturating(d)))
+                    },
+                )
+                .with_seed(9)
+                .with_jitter(jitter),
+            );
+            spec
+        };
+        let run = |spec: &FleetSpec, tier: DenseSolveTier| {
+            run_fleet(
+                spec,
+                FleetConfig {
+                    dense_tier: tier,
+                    ..FleetConfig::over(Seconds::from_hours(3.0))
+                },
+            )
+            .summary
+        };
+        let plain = build(EnvJitter::NONE);
+        assert_eq!(
+            run(&plain, DenseSolveTier::Batched),
+            run(&plain, DenseSolveTier::Scalar)
+        );
+        let jittered = build(EnvJitter::relative(0.2));
+        assert_eq!(
+            modulo_cache(run(&jittered, DenseSolveTier::Batched)),
+            modulo_cache(run(&jittered, DenseSolveTier::Scalar))
+        );
+    }
+
+    #[test]
+    fn boxed_group_with_dense_class_matches_plain_boxed() {
+        let horizon = Seconds::from_hours(4.0);
+        let build = |opt_in: bool, jitter: EnvJitter| {
+            let mut spec = FleetSpec::new();
+            let site = spec.add_site(Environment::outdoor_temperate(11));
+            let mut group = FleetGroup::new(
+                "pv",
+                6,
+                site,
+                SensorNode::submilliwatt_class(),
+                |_| Box::new(solar_unit()),
+                |_| Box::new(FixedDuty::new(duty())),
+            )
+            .with_seed(5)
+            .with_jitter(jitter);
+            if opt_in {
+                group = group.with_dense_class(
+                    DenseClass::new(
+                        solar_channel,
+                        DcDcConverter::buck_boost_3v3(),
+                        DenseStore::Supercap(solar_cap()),
+                    )
+                    .with_monitoring(MonitoringLevel::None),
+                );
+            }
+            spec.add_group(group);
+            run_fleet(&spec, FleetConfig::over(horizon)).summary
+        };
+        for jitter in [EnvJitter::NONE, EnvJitter::relative(0.2)] {
+            assert_eq!(
+                modulo_cache(build(true, jitter)),
+                modulo_cache(build(false, jitter)),
+                "{jitter:?}"
+            );
+        }
+        // Non-vacuity: the un-jittered opted-in group really took the
+        // lane kernels — its synthesized cache counters differ from the
+        // boxed channels' real ones.
+        assert_ne!(
+            build(true, EnvJitter::NONE).kernel_cache,
+            build(false, EnvJitter::NONE).kernel_cache
+        );
+    }
+
+    #[test]
+    fn boxed_battery_opt_in_matches_plain_boxed() {
+        let mut nimh = Battery::nimh_aa_pair();
+        nimh.set_soc(0.6);
+        let horizon = Seconds::from_hours(3.0);
+        let build = |opt_in: bool| {
+            let template = nimh.clone();
+            let mut spec = FleetSpec::new();
+            let site = spec.add_site(Environment::outdoor_temperate(17));
+            let mut group = FleetGroup::new(
+                "pv + nimh",
+                5,
+                site,
+                SensorNode::submilliwatt_class(),
+                move |_| {
+                    Box::new(
+                        PowerUnit::builder("fleet battery node")
+                            .harvester_port(
+                                PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+                                Some(solar_channel()),
+                                true,
+                            )
+                            .store_port(
+                                PortRequirement::any_in_window("b", Volts::ZERO, Volts::new(3.0)),
+                                Some(Box::new(template.clone())),
+                                StoreRole::PrimaryBuffer,
+                                true,
+                            )
+                            .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+                            .build(),
+                    )
+                },
+                |_| Box::new(FixedDuty::new(duty())),
+            )
+            .with_seed(3);
+            if opt_in {
+                let template = nimh.clone();
+                group = group.with_dense_class(
+                    DenseClass::new(
+                        solar_channel,
+                        DcDcConverter::buck_boost_3v3(),
+                        DenseStore::Battery(template),
+                    )
+                    .with_monitoring(MonitoringLevel::None),
+                );
+            }
+            spec.add_group(group);
+            run_fleet(&spec, FleetConfig::over(horizon)).summary
+        };
+        assert_eq!(modulo_cache(build(true)), modulo_cache(build(false)));
+        assert_ne!(build(true).kernel_cache, build(false).kernel_cache);
+    }
+
+    #[test]
+    fn dense_class_contradictions_are_spec_errors() {
+        let config = FleetConfig::over(Seconds::from_hours(1.0));
+        // Probe failure: a store-only unit has no channel-backed
+        // harvester port, so it cannot match any dense class.
+        let mut spec = FleetSpec::new();
+        let site = spec.add_site(Environment::outdoor_temperate(11));
+        spec.add_group(
+            FleetGroup::new(
+                "no harvester",
+                2,
+                site,
+                SensorNode::submilliwatt_class(),
+                |_| {
+                    Box::new(
+                        PowerUnit::builder("store only")
+                            .store_port(
+                                PortRequirement::any_in_window("b", Volts::ZERO, Volts::new(3.0)),
+                                Some(Box::new(solar_cap())),
+                                StoreRole::PrimaryBuffer,
+                                true,
+                            )
+                            .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+                            .build(),
+                    )
+                },
+                |_| Box::new(FixedDuty::new(duty())),
+            )
+            .with_dense_class(
+                DenseClass::new(
+                    solar_channel,
+                    DcDcConverter::buck_boost_3v3(),
+                    DenseStore::Supercap(solar_cap()),
+                )
+                .with_monitoring(MonitoringLevel::None),
+            ),
+        );
+        let err = run_fleet_controlled(&spec, config, FleetControl::default())
+            .expect_err("probe must reject the shape");
+        assert!(err.contains("cannot borrow the dense kernels"), "{err}");
+
+        // Book mismatch: a declared template at a different state of
+        // charge than the members' actual device.
+        let mut spec = FleetSpec::new();
+        let site = spec.add_site(Environment::outdoor_temperate(11));
+        let mut wrong = solar_cap();
+        wrong.set_voltage(Volts::new(2.5));
+        spec.add_group(
+            FleetGroup::new(
+                "pv",
+                2,
+                site,
+                SensorNode::submilliwatt_class(),
+                |_| Box::new(solar_unit()),
+                |_| Box::new(FixedDuty::new(duty())),
+            )
+            .with_dense_class(
+                DenseClass::new(
+                    solar_channel,
+                    DcDcConverter::buck_boost_3v3(),
+                    DenseStore::Supercap(wrong),
+                )
+                .with_monitoring(MonitoringLevel::None),
+            ),
+        );
+        let err = run_fleet_controlled(&spec, config, FleetControl::default())
+            .expect_err("book mismatch must reject");
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn mid_run_fault_fire_cannot_replay_stale_battery_keep_fraction() {
+        use crate::fault::{FaultSchedule, IntermittentStorage};
+        use mseh_storage::BatteryLanes;
+
+        // Sim level: a battery-store node whose cell fails open mid-run
+        // and recovers. The battery's memoized idle keep fraction is
+        // exercised on both sides of the FaultFire/FaultClear edges —
+        // the books must close and the fault must actually bite.
+        let horizon = Seconds::from_hours(6.0);
+        let build = |faulted: bool| {
+            let mut spec = FleetSpec::new();
+            let site = spec.add_site(Environment::indoor_office(7));
+            spec.add_group(FleetGroup::new(
+                "battery node",
+                1,
+                site,
+                SensorNode::milliwatt_class(),
+                move |_| {
+                    let mut nimh = Battery::nimh_aa_pair();
+                    nimh.set_soc(0.8);
+                    let store: Box<dyn Storage> = if faulted {
+                        Box::new(IntermittentStorage::new(
+                            Box::new(nimh),
+                            FaultSchedule::one_shot_recovering(
+                                Seconds::from_hours(2.0),
+                                Seconds::from_hours(1.0),
+                            ),
+                        ))
+                    } else {
+                        Box::new(nimh)
+                    };
+                    Box::new(
+                        PowerUnit::builder("battery node")
+                            .harvester_port(
+                                PortRequirement::any_in_window("PV", Volts::ZERO, Volts::new(7.0)),
+                                Some(solar_channel()),
+                                true,
+                            )
+                            .store_port(
+                                PortRequirement::any_in_window("b", Volts::ZERO, Volts::new(3.0)),
+                                Some(store),
+                                StoreRole::PrimaryBuffer,
+                                true,
+                            )
+                            .output_stage(Box::new(DcDcConverter::buck_boost_3v3()))
+                            .build(),
+                    )
+                },
+                |_| Box::new(FixedDuty::new(DutyCycle::saturating(0.5))),
+            ));
+            run_fleet(&spec, FleetConfig::over(horizon)).summary
+        };
+        let faulted = build(true);
+        let healthy = build(false);
+        assert!(faulted.audit_relative < 1e-6, "{}", faulted.audit_relative);
+        assert!(healthy.audit_relative < 1e-6, "{}", healthy.audit_relative);
+        assert_ne!(faulted.delivered, healthy.delivered, "fault must bite");
+
+        // Lane level: the FaultFire edge contract for the lane-shared
+        // keep memo — an edge that degrades the cell's self-discharge
+        // must never replay the pre-fault keep fraction. The embedding
+        // flushes at the edge (`invalidate_idle_memo`) and the re-key on
+        // the new rate covers the rest.
+        let mut template = Battery::nimh_aa_pair();
+        template.set_soc(0.8);
+        let n = 3;
+        let mut lanes = BatteryLanes::from_template(&template, n);
+        let zeros = vec![0.0; n];
+        let mut a = vec![0.0; n];
+        let mut b = vec![0.0; n];
+        let dt = 60.0;
+        lanes.step(&zeros, &zeros, dt, &mut a, &mut b); // warm the memo
+        let degraded = 0.45;
+        lanes.invalidate_idle_memo(); // the FaultFire edge flush
+        lanes.set_self_discharge_month(degraded);
+        lanes.step(&zeros, &zeros, dt, &mut a, &mut b);
+        let mut reference = template.clone();
+        reference.idle(Seconds::new(dt));
+        reference.set_self_discharge_month(degraded);
+        reference.idle(Seconds::new(dt));
+        for i in 0..n {
+            assert_eq!(
+                lanes.stored_energy(i).to_bits(),
+                reference.stored_energy().value().to_bits(),
+                "lane {i} replayed a stale keep fraction"
+            );
         }
     }
 

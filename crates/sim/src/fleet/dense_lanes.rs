@@ -1,15 +1,34 @@
-//! Struct-of-arrays stepping for contiguous runs of supercap dense
-//! nodes.
+//! Struct-of-arrays stepping for contiguous runs of dense nodes.
 //!
-//! A shard-local run of one [`DenseGroup`]'s members becomes a lane
-//! population: voltages, losses and staged energy targets live in
-//! contiguous `Vec<f64>`s ([`SupercapLanes`]) and the per-step
-//! energy→voltage Newton inversions execute as masked fixed-iteration
-//! passes over all lanes at once, instead of one `Storage` call per
-//! node. Harvest solves batch the same way: un-jittered runs replay the
-//! group-wide harvest table, jittered runs drive the group channel's
-//! [`mseh_power::InputChannel::window_lanes`] once per control window
-//! across every lane's jittered snapshot.
+//! A shard-local run of one dense class's members becomes a lane
+//! population: stored state, losses and staged energy targets live in
+//! contiguous `Vec<f64>`s ([`SupercapLanes`] for supercap buffers,
+//! [`BatteryLanes`] for battery buffers) and the per-step store updates
+//! execute as masked whole-lane passes instead of one `Storage` call
+//! per node. Harvest solves batch the same way: un-jittered runs replay
+//! the group-wide harvest table, jittered runs drive the group
+//! channel's [`mseh_power::InputChannel::window_lanes`] once per
+//! control window across every lane's jittered snapshot.
+//!
+//! The runner is generic over the store lane type ([`StoreLanes`]) and
+//! over where its class parameters come from ([`DenseView`]): a
+//! [`DenseGroup`](super::DenseGroup) on the dense lane, or a boxed
+//! [`FleetGroup`](super::FleetGroup) whose members opted into the
+//! kernels via [`DenseClass`](super::DenseClass).
+//!
+//! # Uniform fast path
+//!
+//! An un-jittered run starts with every lane in the template state,
+//! reading the same shared harvest table. While every lane's policy
+//! returns bit-identical duties the trajectories cannot diverge, so the
+//! runner steps a single representative lane (every policy is still
+//! driven each window — policy state must evolve exactly as scalar) and
+//! materializes the full population from it on the first divergent
+//! duty ([`SupercapLanes::replicate_lane0`]). Homogeneous-policy groups
+//! collapse to one lane of arithmetic; heterogeneous groups pay at most
+//! one window of single-lane work before falling back to full-width
+//! stepping. Jittered runs never take the fast path (their harvests
+//! differ per lane from the first window).
 //!
 //! # Bit-identity
 //!
@@ -18,19 +37,107 @@
 //! [`simulate_node_dense`](super::simulate_node_dense) — and each
 //! lane's iterates are independent of its companions, so the result is
 //! bit-identical to the scalar tier *and* independent of how shards
-//! split a group into runs. The fleet tests assert both.
+//! split a group into runs. The uniform fast path preserves this: a
+//! one-lane population's iterates equal any lane of a wider one. The
+//! fleet tests assert all of it.
 
-use super::{DenseGroup, DenseSolveTier, NodeOutcome, StepPlan, NODE_SEED_STREAM};
+use super::{
+    ChannelFactory, DenseSolveTier, NodeOutcome, PolicyFactory, StepPlan, NODE_SEED_STREAM,
+};
 use crate::cancel::{tripped, CancelToken};
 use mseh_env::rng::Noise;
-use mseh_env::{EnvConditions, JitterFactors};
+use mseh_env::{EnvConditions, EnvJitter, JitterFactors};
 use mseh_harvesters::CacheStats;
-use mseh_node::EnergyStatus;
-use mseh_power::{HarvestStep, PowerStage};
-use mseh_storage::{Storage, Supercap, SupercapLanes};
+use mseh_node::{EnergyStatus, MonitoringLevel, SensorNode};
+use mseh_power::{DcDcConverter, HarvestStep, PowerStage};
+use mseh_storage::{Battery, BatteryLanes, Storage, Supercap, SupercapLanes};
 use mseh_units::{DutyCycle, Joules, Ratio, Volts, Watts};
 
+/// The class parameters the generic runner needs, borrowed from either
+/// a [`DenseGroup`](super::DenseGroup) or a boxed
+/// [`FleetGroup`](super::FleetGroup) + [`DenseClass`](super::DenseClass)
+/// pair — the two lanes share the kernels verbatim.
+pub(super) struct DenseView<'a> {
+    pub(super) seed: u64,
+    pub(super) jitter: EnvJitter,
+    pub(super) node: &'a SensorNode,
+    pub(super) channel: &'a ChannelFactory,
+    pub(super) output: &'a DcDcConverter,
+    pub(super) supervisor_overhead: Watts,
+    pub(super) monitoring: MonitoringLevel,
+    pub(super) policy: &'a PolicyFactory,
+}
+
+/// The store-side lane kernel the generic runner drives: one whole-lane
+/// masked step plus per-lane state reads, bit-identical to the scalar
+/// `Storage` sequence by each implementation's contract.
+trait StoreLanes: Sized {
+    fn voltage(&self, i: usize) -> f64;
+    fn stored_energy(&self, i: usize) -> f64;
+    fn losses(&self, i: usize) -> f64;
+    fn step(
+        &mut self,
+        charge_w: &[f64],
+        discharge_w: &[f64],
+        dt: f64,
+        charged: &mut [f64],
+        discharged: &mut [f64],
+    );
+    fn replicate_lane0(&self, lanes: usize) -> Self;
+}
+
+impl StoreLanes for SupercapLanes {
+    fn voltage(&self, i: usize) -> f64 {
+        SupercapLanes::voltage(self, i)
+    }
+    fn stored_energy(&self, i: usize) -> f64 {
+        SupercapLanes::stored_energy(self, i)
+    }
+    fn losses(&self, i: usize) -> f64 {
+        SupercapLanes::losses(self, i)
+    }
+    fn step(
+        &mut self,
+        charge_w: &[f64],
+        discharge_w: &[f64],
+        dt: f64,
+        charged: &mut [f64],
+        discharged: &mut [f64],
+    ) {
+        SupercapLanes::step(self, charge_w, discharge_w, dt, charged, discharged)
+    }
+    fn replicate_lane0(&self, lanes: usize) -> Self {
+        SupercapLanes::replicate_lane0(self, lanes)
+    }
+}
+
+impl StoreLanes for BatteryLanes {
+    fn voltage(&self, i: usize) -> f64 {
+        BatteryLanes::voltage(self, i)
+    }
+    fn stored_energy(&self, i: usize) -> f64 {
+        BatteryLanes::stored_energy(self, i)
+    }
+    fn losses(&self, i: usize) -> f64 {
+        BatteryLanes::losses(self, i)
+    }
+    fn step(
+        &mut self,
+        charge_w: &[f64],
+        discharge_w: &[f64],
+        dt: f64,
+        charged: &mut [f64],
+        discharged: &mut [f64],
+    ) {
+        BatteryLanes::step(self, charge_w, discharge_w, dt, charged, discharged)
+    }
+    fn replicate_lane0(&self, lanes: usize) -> Self {
+        BatteryLanes::replicate_lane0(self, lanes)
+    }
+}
+
 /// Per-lane running totals, mirroring `simulate_node_dense`'s locals.
+#[derive(Clone)]
 struct LaneAcc {
     samples: f64,
     harvested: Joules,
@@ -67,22 +174,12 @@ impl LaneAcc {
     }
 }
 
-/// Steps global nodes `lo..hi` of supercap dense group `g` as one lane
-/// population, pushing their [`NodeOutcome`]s onto `out` in node order.
-///
-/// `shared` is the group-wide harvest table for un-jittered groups
-/// (cache counters are synthesized exactly as the scalar dense path
-/// does: every table read is a replay). Jittered runs build a group
-/// channel and drive it once per window over per-lane jittered
-/// snapshots; the caller has verified
-/// [`mseh_power::InputChannel::supports_window_lanes`] for the plan's
-/// `dt`.
-///
-/// Returns `false` — with no outcomes pushed — when `cancel` trips,
-/// checked once per control window.
+/// Steps global nodes `lo..hi` of a supercap-store dense class as one
+/// lane population, pushing their [`NodeOutcome`]s onto `out` in node
+/// order. See [`simulate_dense_run`] for the shared semantics.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn simulate_supercap_run(
-    g: &DenseGroup,
+    view: &DenseView<'_>,
     template: &Supercap,
     group_start: u64,
     lo: u64,
@@ -94,30 +191,126 @@ pub(super) fn simulate_supercap_run(
     cancel: Option<&CancelToken>,
     out: &mut Vec<NodeOutcome>,
 ) -> bool {
+    let mut solo = SupercapLanes::from_template(template, 1);
+    let interp_deviation = match tier {
+        DenseSolveTier::Interpolated { samples } => solo.set_interpolation(samples),
+        _ => 0.0,
+    };
+    simulate_dense_run(
+        view,
+        solo,
+        template.capacity(),
+        template.stored_energy().value(),
+        template.losses().value(),
+        interp_deviation,
+        group_start,
+        lo,
+        hi,
+        rows,
+        shared,
+        plan,
+        cancel,
+        out,
+    )
+}
+
+/// Steps global nodes `lo..hi` of a battery-store dense class as one
+/// lane population, pushing their [`NodeOutcome`]s onto `out` in node
+/// order. Batteries have no iterative inversion to interpolate, so
+/// every non-`Scalar` tier steps the exact [`BatteryLanes`] kernels
+/// (the one lane-wide `powf` per distinct idle `dt` is already the
+/// cheap path) and `interp_deviation` stays zero. See
+/// [`simulate_dense_run`] for the shared semantics.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn simulate_battery_run(
+    view: &DenseView<'_>,
+    template: &Battery,
+    group_start: u64,
+    lo: u64,
+    hi: u64,
+    rows: &[EnvConditions],
+    shared: Option<&[HarvestStep]>,
+    plan: &StepPlan,
+    cancel: Option<&CancelToken>,
+    out: &mut Vec<NodeOutcome>,
+) -> bool {
+    let solo = BatteryLanes::from_template(template, 1);
+    simulate_dense_run(
+        view,
+        solo,
+        template.capacity(),
+        template.stored_energy().value(),
+        template.losses().value(),
+        0.0,
+        group_start,
+        lo,
+        hi,
+        rows,
+        shared,
+        plan,
+        cancel,
+        out,
+    )
+}
+
+/// The generic lane runner: steps global nodes `lo..hi` of one dense
+/// class as a [`StoreLanes`] population.
+///
+/// `shared` is the class-wide harvest table for un-jittered runs (cache
+/// counters are synthesized exactly as the scalar dense path does:
+/// every table read is a replay); such runs start on the uniform fast
+/// path (see the module docs). Jittered runs build a group channel and
+/// drive it once per window over per-lane jittered snapshots; the
+/// caller has verified
+/// [`mseh_power::InputChannel::supports_window_lanes`] for the plan's
+/// `dt`.
+///
+/// Returns `false` — with no outcomes pushed — when `cancel` trips,
+/// checked once per control window.
+#[allow(clippy::too_many_arguments)]
+fn simulate_dense_run<L: StoreLanes>(
+    view: &DenseView<'_>,
+    solo: L,
+    cap: Joules,
+    initial_stored: f64,
+    initial_losses: f64,
+    interp_deviation: f64,
+    group_start: u64,
+    lo: u64,
+    hi: u64,
+    rows: &[EnvConditions],
+    shared: Option<&[HarvestStep]>,
+    plan: &StepPlan,
+    cancel: Option<&CancelToken>,
+    out: &mut Vec<NodeOutcome>,
+) -> bool {
     let lanes_n = (hi - lo) as usize;
     let node_seed = |i: usize| {
         let within = lo - group_start + i as u64;
-        Noise::new(g.seed).bits(NODE_SEED_STREAM, within)
+        Noise::new(view.seed).bits(NODE_SEED_STREAM, within)
     };
-
-    let mut lanes = SupercapLanes::from_template(template, lanes_n);
-    let interp_deviation = match tier {
-        DenseSolveTier::Interpolated { samples } => lanes.set_interpolation(samples),
-        _ => 0.0,
-    };
-    let cap = template.capacity();
     let recognized = cap;
-    let initial_stored = template.stored_energy().value();
-    let initial_losses = template.losses().value();
 
-    let mut policies: Vec<_> = (0..lanes_n).map(|i| (g.policy)(node_seed(i))).collect();
+    // Uniform fast path: un-jittered lanes all start in the template
+    // state and read the same table, so step one lane until the
+    // policies produce a divergent duty.
+    let mut uniform = shared.is_some();
+    let mut lanes = if uniform {
+        solo
+    } else {
+        solo.replicate_lane0(lanes_n)
+    };
+    // Lanes actually stepped this window (1 while uniform).
+    let mut active = if uniform { 1 } else { lanes_n };
+
+    let mut policies: Vec<_> = (0..lanes_n).map(|i| (view.policy)(node_seed(i))).collect();
     let mut acc: Vec<LaneAcc> = (0..lanes_n).map(|_| LaneAcc::new()).collect();
 
     // Jittered runs drive the group channel once per window over every
     // lane's jittered snapshot; the per-lane factors replicate the
     // scalar path's per-node derivation.
     let mut channel = if shared.is_none() {
-        let mut ch = (g.channel)();
+        let mut ch = (view.channel)();
         if plan.quantize_drop_bits.is_some() {
             ch.set_cache_quantization(plan.quantize_drop_bits);
         }
@@ -127,7 +320,7 @@ pub(super) fn simulate_supercap_run(
     };
     let factors: Vec<JitterFactors> = if shared.is_none() {
         (0..lanes_n)
-            .map(|i| JitterFactors::derive(g.jitter, node_seed(i)))
+            .map(|i| JitterFactors::derive(view.jitter, node_seed(i)))
             .collect()
     } else {
         Vec::new()
@@ -165,24 +358,64 @@ pub(super) fn simulate_supercap_run(
         let window_end = (window_start + plan.control_every).min(plan.steps);
 
         // Policy prologue, per lane: the exact `EnergyStatus` the scalar
-        // dense path composes from its store.
-        for i in 0..lanes_n {
+        // dense path composes from its store. While uniform, every
+        // lane's state bit-equals lane 0's, so one status serves all
+        // policies — each of which is still driven, so stateful
+        // policies evolve exactly as scalar — and the population
+        // materializes on the first divergent duty.
+        if uniform {
             let soc_actual = if cap.value() > 0.0 {
-                lanes.stored_energy(i) / cap.value()
+                lanes.stored_energy(0) / cap.value()
             } else {
                 0.0
             };
             let status = EnergyStatus::full(
-                Volts::new(lanes.voltage(i)),
+                Volts::new(lanes.voltage(0)),
                 Ratio::new(soc_actual),
                 recognized * soc_actual,
-                acc[i].last_harvest,
+                acc[0].last_harvest,
             )
-            .clamped_to(g.monitoring);
-            let duty = policies[i].choose(&g.node, &status.at(plan.time_at(window_start)));
-            duties[i] = duty;
-            loads[i] = g.node.average_power(duty);
-            wsamples[i] = g.node.step(duty, plan.dt).samples;
+            .clamped_to(view.monitoring);
+            let timed = status.at(plan.time_at(window_start));
+            let mut diverged = false;
+            for i in 0..lanes_n {
+                duties[i] = policies[i].choose(view.node, &timed);
+                if duties[i].value().to_bits() != duties[0].value().to_bits() {
+                    diverged = true;
+                }
+            }
+            if diverged {
+                lanes = lanes.replicate_lane0(lanes_n);
+                let a0 = acc[0].clone();
+                for a in acc.iter_mut().skip(1) {
+                    *a = a0.clone();
+                }
+                active = lanes_n;
+                uniform = false;
+            }
+            for i in 0..active {
+                loads[i] = view.node.average_power(duties[i]);
+                wsamples[i] = view.node.step(duties[i], plan.dt).samples;
+            }
+        } else {
+            for i in 0..lanes_n {
+                let soc_actual = if cap.value() > 0.0 {
+                    lanes.stored_energy(i) / cap.value()
+                } else {
+                    0.0
+                };
+                let status = EnergyStatus::full(
+                    Volts::new(lanes.voltage(i)),
+                    Ratio::new(soc_actual),
+                    recognized * soc_actual,
+                    acc[i].last_harvest,
+                )
+                .clamped_to(view.monitoring);
+                let duty = policies[i].choose(view.node, &status.at(plan.time_at(window_start)));
+                duties[i] = duty;
+                loads[i] = view.node.average_power(duty);
+                wsamples[i] = view.node.step(duty, plan.dt).samples;
+            }
         }
 
         // Harvest for the window: batched channel solve across lanes
@@ -217,7 +450,7 @@ pub(super) fn simulate_supercap_run(
             // Pass A — the pre-transfer half of the scalar step: resolve
             // the lane's harvest, read the store voltage, stage the
             // charge/discharge request.
-            for i in 0..lanes_n {
+            for i in 0..active {
                 let hs: &HarvestStep = match shared {
                     Some(table) => &table[j as usize],
                     None if frac_step => &fhs[i],
@@ -226,13 +459,13 @@ pub(super) fn simulate_supercap_run(
                 let load = loads[i];
 
                 let harvested_w = hs.delivered;
-                let overhead_w = g.supervisor_overhead + g.output.quiescent() + hs.overhead;
+                let overhead_w = view.supervisor_overhead + view.output.quiescent() + hs.overhead;
                 acc[i].last_harvest = harvested_w;
 
                 let store_v = Volts::new(lanes.voltage(i));
                 let (load_in_w, servable) = if load.value() > 0.0 {
-                    if g.output.accepts_input_voltage(store_v) {
-                        (g.output.input_for_output(load, store_v), true)
+                    if view.output.accepts_input_voltage(store_v) {
+                        (view.output.input_for_output(load, store_v), true)
                     } else {
                         (Watts::ZERO, false)
                     }
@@ -265,24 +498,24 @@ pub(super) fn simulate_supercap_run(
                 acc[i].harvested += e_h;
             }
 
-            // Batched transfer + idle leak: four masked passes over the
-            // lanes, bit-identical to per-lane `charge`/`discharge`/
-            // `idle` (see `SupercapLanes::step`).
+            // Batched transfer + idle: masked passes over the lanes,
+            // bit-identical to per-lane `charge`/`discharge`/`idle`
+            // (see `SupercapLanes::step` / `BatteryLanes::step`).
             lanes.step(
-                &charge_w,
-                &discharge_w,
+                &charge_w[..active],
+                &discharge_w[..active],
                 step_dt.value(),
-                &mut charged_o,
-                &mut discharged_o,
+                &mut charged_o[..active],
+                &mut discharged_o[..active],
             );
 
             // Pass B — the post-transfer half: shortfall split, sample
             // accounting, outage tracking. Accumulator order matches the
             // scalar step exactly.
-            for i in 0..lanes_n {
+            for i in 0..active {
                 let load = loads[i];
                 let (step_samples, step_load_energy) = if frac_step {
-                    (g.node.step(duties[i], step_dt).samples, load * step_dt)
+                    (view.node.step(duties[i], step_dt).samples, load * step_dt)
                 } else {
                     (wsamples[i], load * plan.dt)
                 };
@@ -350,7 +583,7 @@ pub(super) fn simulate_supercap_run(
         ..CacheStats::default()
     };
 
-    for (i, a) in acc.into_iter().enumerate() {
+    let fold = |a: &LaneAcc, i: usize| -> NodeOutcome {
         let d_stored = lanes.stored_energy(i) - initial_stored;
         let d_losses = lanes.losses(i) - initial_losses;
         let residual_signed = a.charged.value() - a.discharged.value() - d_losses - d_stored;
@@ -365,7 +598,7 @@ pub(super) fn simulate_supercap_run(
         } else {
             1.0
         };
-        out.push(NodeOutcome {
+        NodeOutcome {
             uptime,
             samples: a.samples,
             harvested: a.harvested,
@@ -382,7 +615,19 @@ pub(super) fn simulate_supercap_run(
             stranded: Joules::ZERO,
             cache,
             interp_deviation,
-        });
+        }
+    };
+
+    if uniform {
+        // Never diverged: every member's trajectory is lane 0's.
+        let outcome = fold(&acc[0], 0);
+        for _ in 0..lanes_n {
+            out.push(outcome.clone());
+        }
+    } else {
+        for (i, a) in acc.iter().enumerate() {
+            out.push(fold(a, i));
+        }
     }
     true
 }

@@ -88,9 +88,9 @@ pub use fault::{
     DegradingHarvester, FailingStorage, FaultSchedule, GlitchingHarvester, IntermittentStorage,
 };
 pub use fleet::{
-    run_fleet, run_fleet_controlled, ChannelFactory, DenseGroup, DenseSolveTier, DenseStore,
-    EnvCadence, FleetConfig, FleetControl, FleetGroup, FleetResult, FleetSpec, FleetSummary,
-    GroupEntry, PlatformFactory, PolicyFactory, Straggler, UptimePercentiles,
+    run_fleet, run_fleet_controlled, ChannelFactory, DenseClass, DenseGroup, DenseSolveTier,
+    DenseStore, EnvCadence, FleetConfig, FleetControl, FleetGroup, FleetResult, FleetSpec,
+    FleetSummary, GroupEntry, PlatformFactory, PolicyFactory, Straggler, UptimePercentiles,
 };
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry,

@@ -71,6 +71,17 @@ pub trait Platform {
     fn set_kernel_cache_quantization(&mut self, drop_bits: Option<u32>) {
         let _ = drop_bits;
     }
+
+    /// Whether this platform's shape matches the fleet engine's
+    /// monomorphized dense-lane class (one channel-backed harvester
+    /// port, one primary-buffer store, no shared-port fabric), so a
+    /// boxed [`crate::FleetGroup`] may opt its members into the batched
+    /// struct-of-arrays kernels via [`crate::FleetGroup::with_dense_class`].
+    /// Default: `false` — only shapes the lane kernels provably
+    /// replicate may opt in.
+    fn supports_dense_kernels(&self) -> bool {
+        false
+    }
 }
 
 impl Platform for PowerUnit {
@@ -116,6 +127,10 @@ impl Platform for PowerUnit {
 
     fn set_kernel_cache_quantization(&mut self, drop_bits: Option<u32>) {
         PowerUnit::set_kernel_cache_quantization(self, drop_bits)
+    }
+
+    fn supports_dense_kernels(&self) -> bool {
+        PowerUnit::supports_dense_kernels(self)
     }
 }
 

@@ -17,7 +17,7 @@ use mseh_power::{DcDcConverter, FixedPoint, FractionalVoc, IdealDiode, InputChan
 use mseh_sim::{
     run_fleet, DenseGroup, DenseSolveTier, DenseStore, FleetConfig, FleetSpec, FleetSummary,
 };
-use mseh_storage::{Storage, Supercap};
+use mseh_storage::{Battery, Storage, Supercap};
 use mseh_units::{DutyCycle, Seconds, Volts};
 
 /// One dense platform preset per Table-I system: the seven surveyed
@@ -84,6 +84,20 @@ fn cap_for(preset: usize) -> Supercap {
     cap
 }
 
+/// Battery analog of [`cap_for`]: the surveyed chemistries at partial
+/// state of charge (the primary cell rides along to prove the lanes
+/// honour the charge-refusal mask too).
+fn batt_for(preset: usize) -> Battery {
+    let mut batt = match preset % 4 {
+        0 => Battery::lipo_400mah(),
+        1 => Battery::nimh_aa_pair(),
+        2 => Battery::thin_film_50uah(),
+        _ => Battery::li_primary_aa(),
+    };
+    batt.set_soc(0.3 + 0.1 * (preset % 5) as f64);
+    batt
+}
+
 fn site_for(preset: usize, seed: u64) -> Environment {
     match preset {
         // TEG and rectenna presets need a gradient / an RF field.
@@ -94,6 +108,32 @@ fn site_for(preset: usize, seed: u64) -> Environment {
 }
 
 fn spec_for(preset: usize, seed: u64, jitter: EnvJitter, count: usize) -> FleetSpec {
+    spec_with_store(
+        preset,
+        seed,
+        jitter,
+        count,
+        DenseStore::Supercap(cap_for(preset)),
+    )
+}
+
+fn battery_spec_for(preset: usize, seed: u64, jitter: EnvJitter, count: usize) -> FleetSpec {
+    spec_with_store(
+        preset,
+        seed,
+        jitter,
+        count,
+        DenseStore::Battery(batt_for(preset)),
+    )
+}
+
+fn spec_with_store(
+    preset: usize,
+    seed: u64,
+    jitter: EnvJitter,
+    count: usize,
+    store: DenseStore,
+) -> FleetSpec {
     let mut spec = FleetSpec::new();
     let site = spec.add_site(site_for(preset, seed));
     let group = DenseGroup::new(
@@ -103,7 +143,7 @@ fn spec_for(preset: usize, seed: u64, jitter: EnvJitter, count: usize) -> FleetS
         SensorNode::submilliwatt_class(),
         move || channel_for(preset),
         DcDcConverter::buck_boost_3v3(),
-        DenseStore::Supercap(cap_for(preset)),
+        store,
         move |node_seed| {
             if preset.is_multiple_of(2) {
                 Box::new(VoltageThreshold::supercap_ladder())
@@ -176,6 +216,73 @@ fn batched_matches_scalar_bitwise_across_presets_jittered() {
             );
         }
     }
+}
+
+#[test]
+fn battery_batched_matches_scalar_bitwise_across_presets_unjittered() {
+    for preset in 0..PRESETS {
+        for seed in [11u64, 4242] {
+            let spec = battery_spec_for(preset, seed, EnvJitter::NONE, 9);
+            let scalar = run_tier(&spec, DenseSolveTier::Scalar);
+            let batched = run_tier(&spec, DenseSolveTier::Batched);
+            assert_eq!(batched, scalar, "preset {preset}, seed {seed}");
+            assert_eq!(batched.interp_max_deviation, 0.0);
+        }
+    }
+}
+
+#[test]
+fn battery_batched_matches_scalar_bitwise_across_presets_jittered() {
+    for preset in 0..PRESETS {
+        assert!(
+            channel_for(preset).supports_window_lanes(Seconds::new(60.0)),
+            "preset {preset} is not window-batchable"
+        );
+        for seed in [7u64, 1999] {
+            let spec = battery_spec_for(preset, seed, EnvJitter::relative(0.25), 8);
+            let scalar = run_tier(&spec, DenseSolveTier::Scalar);
+            let batched = run_tier(&spec, DenseSolveTier::Batched);
+            assert_eq!(
+                modulo_cache(batched),
+                modulo_cache(scalar),
+                "preset {preset}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_batched_tier_is_invariant_to_run_geometry() {
+    let spec = battery_spec_for(1, 31, EnvJitter::relative(0.2), 13);
+    let reference = run_fleet(
+        &spec,
+        FleetConfig::over(horizon())
+            .with_threads(1)
+            .with_shard_size(13),
+    )
+    .summary;
+    for (threads, shard) in [(2usize, 1usize), (4, 3), (3, 1024), (1, 5)] {
+        let got = run_fleet(
+            &spec,
+            FleetConfig::over(horizon())
+                .with_threads(threads)
+                .with_shard_size(shard),
+        )
+        .summary;
+        assert_eq!(got, reference, "{threads} threads, shard {shard}");
+    }
+}
+
+#[test]
+fn interpolated_tier_is_exact_for_battery_stores() {
+    // Battery lanes have no iterative inversion to tabulate, so the
+    // interpolated tier steps the exact batched kernels: full equality
+    // and a zero recorded deviation.
+    let spec = battery_spec_for(3, 5, EnvJitter::relative(0.15), 6);
+    let batched = run_tier(&spec, DenseSolveTier::Batched);
+    let interp = run_tier(&spec, DenseSolveTier::Interpolated { samples: 4096 });
+    assert_eq!(interp, batched);
+    assert_eq!(interp.interp_max_deviation, 0.0);
 }
 
 #[test]

@@ -231,6 +231,23 @@ impl Battery {
         self.throughput.value() / (2.0 * self.capacity.value())
     }
 
+    /// The parameter fields a struct-of-arrays population
+    /// ([`BatteryLanes`](crate::BatteryLanes)) needs to replicate the
+    /// scalar charge/discharge/idle sequence bit for bit:
+    /// `(ocv_curve, eta_charge, eta_discharge, self_discharge_month,
+    /// c_rate_charge, c_rate_discharge)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn lane_params(&self) -> (&[(f64, f64)], f64, f64, f64, f64, f64) {
+        (
+            &self.ocv_curve,
+            self.eta_charge,
+            self.eta_discharge,
+            self.self_discharge_month,
+            self.c_rate_charge,
+            self.c_rate_discharge,
+        )
+    }
+
     fn ocv_at(&self, soc: f64) -> Volts {
         let soc = soc.clamp(0.0, 1.0);
         let first = self.ocv_curve[0];

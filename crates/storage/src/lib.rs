@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod battery;
+mod battery_lanes;
 mod fuel_cell;
 mod kind;
 #[allow(clippy::module_inception)]
@@ -43,6 +44,7 @@ mod storage;
 mod supercap;
 
 pub use battery::Battery;
+pub use battery_lanes::BatteryLanes;
 pub use fuel_cell::FuelCell;
 pub use kind::StorageKind;
 pub use mseh_units::BatchSolve;

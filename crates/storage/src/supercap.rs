@@ -666,6 +666,20 @@ impl SupercapLanes {
         self.interp.as_ref().map(|t| t.max_deviation)
     }
 
+    /// A new population of `lanes` copies of lane 0's state (solver
+    /// parameters and interpolation table carried over). Used by the
+    /// dense runner's uniform fast path: while every lane provably
+    /// shares lane 0's inputs only lane 0 is stepped, and the full
+    /// population is materialized from it on the first divergence.
+    pub fn replicate_lane0(&self, lanes: usize) -> Self {
+        let mut copy = self.clone();
+        copy.v = vec![self.v[0]; lanes];
+        copy.losses = vec![self.losses[0]; lanes];
+        copy.targets = vec![0.0; lanes];
+        copy.active = vec![false; lanes];
+        copy
+    }
+
     /// Solves the staged targets into `self.v`, batched or via the
     /// interpolation table.
     fn solve_staged(&mut self) {

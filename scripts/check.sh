@@ -101,6 +101,22 @@ awk -v q="$cap_quick" -v b="$cap_baseline" 'BEGIN {
     printf "ok: dense_supercap_node_steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
 }'
 
+echo "==> dense-battery regression gate (quick batched node-steps/s vs committed BENCH_sim.json)"
+# The battery-store batched lane (lane-shared keep-fraction powf plus
+# the uniform fast path). Same 30% floor and rationale as the gates
+# above; a real regression (losing the batched gate and falling back to
+# per-node scalar stepping) costs >10x.
+batt_baseline="$(awk -F': ' '/"dense_battery_batched_node_steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_sim.json)"
+batt_quick="$(awk -F': ' '/"dense_battery_batched_node_steps_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' target/BENCH_sim_quick.json)"
+awk -v q="$batt_quick" -v b="$batt_baseline" 'BEGIN {
+    floor = b * 0.7
+    if (q + 0 < floor) {
+        printf "FAIL: dense_battery_batched_node_steps_per_sec %.1f is >30%% below committed baseline %.1f (floor %.1f)\n", q, b, floor
+        exit 1
+    }
+    printf "ok: dense_battery_batched_node_steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
+}'
+
 echo "==> batched-solve bit-identity smoke (supercap lane, batched vs scalar tier)"
 # The harness asserts full summary equality (cache counters included)
 # before writing the flag.
@@ -109,6 +125,17 @@ grep -q '"dense_supercap_batched_matches_scalar": true' target/BENCH_sim_quick.j
     exit 1
 }
 echo "ok: batched supercap tier bit-identical to scalar tier"
+
+echo "==> batched-solve bit-identity smoke (battery lane, batched vs scalar tier)"
+grep -q '"dense_battery_batched_matches_scalar": true' target/BENCH_sim_quick.json || {
+    echo "FAIL: batched battery tier diverged from the scalar reference"
+    exit 1
+}
+grep -q '"matches_plain_boxed_modulo_cache": true' target/BENCH_sim_quick.json || {
+    echo "FAIL: opted-in boxed group diverged from the plain boxed path"
+    exit 1
+}
+echo "ok: batched battery tier bit-identical to scalar tier; boxed opt-in matches plain boxed"
 
 echo "==> fleet bit-identity smoke (one-node fleet vs run_simulation)"
 # The harness asserts the equality before writing the flag, alongside

@@ -14,7 +14,7 @@
 //! |---|---|---|
 //! | `single` | `system`, `env`, `days`, `seed`, `policy` | one [`run_simulation`] |
 //! | `campaign` | `system`, `days`, `seed`, `seeds` | a resilience campaign |
-//! | `fleet` | `system`, `env`, `days`, `seed`, `population`, `policy`, `jitter` | a fleet run |
+//! | `fleet` | `system`, `env`, `days`, `seed`, `population`, `policy`, `jitter`, `dense_tier`, `shard_size` | a fleet run |
 //!
 //! Every field is optional except `system`; defaults mirror the CLI.
 //! All validation happens in `prepare` — a malformed spec becomes an
@@ -28,8 +28,8 @@ use mseh_sim::serve::protocol::Digest;
 use mseh_sim::serve::{JobContext, JobOutput, JobRunner, JobSpec, PreparedJob};
 use mseh_sim::{
     run_fleet_controlled, run_resilience_campaign_cancellable, run_simulation_cancellable,
-    CampaignConfig, CampaignSummary, FleetConfig, FleetControl, FleetGroup, FleetSpec,
-    FleetSummary, SimConfig, SimObserver, SimResult,
+    CampaignConfig, CampaignSummary, DenseSolveTier, FleetConfig, FleetControl, FleetGroup,
+    FleetSpec, FleetSummary, SimConfig, SimObserver, SimResult,
 };
 use mseh_systems::resilience::{natural_node, resilience_scenario};
 use mseh_systems::SystemId;
@@ -42,6 +42,11 @@ const MAX_DAYS: f64 = 3660.0;
 const MAX_POPULATION: u64 = 1_000_000;
 /// Largest accepted campaign seed count.
 const MAX_SEEDS: u64 = 4096;
+/// Largest accepted fleet shard size (one shard is one worker task; a
+/// larger value degrades progress streaming, not correctness).
+const MAX_SHARD_SIZE: u64 = 1 << 20;
+/// Largest accepted interpolation-table knot count for the dense tier.
+const MAX_INTERP_SAMPLES: u64 = 1 << 20;
 
 /// Parses a surveyed system id (`A`..`G`, case-insensitive).
 pub fn parse_system(s: &str) -> Result<SystemId, String> {
@@ -84,6 +89,35 @@ pub fn make_policy(spec: &str) -> Result<Box<dyn DutyCyclePolicy>, String> {
         "neutral" => Box::new(EnergyNeutral::new()),
         "forecast" => Box::new(DayProfileForecast::new(Seconds::from_hours(14.0))),
         other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+/// Parses a dense solve tier from its CLI/wire spelling
+/// (`scalar | batched | interp:<samples ≥ 2>`). The tier governs dense
+/// and opted-in groups; boxed groups without a dense class ignore it,
+/// so the digest of a plain boxed fleet is tier-invariant.
+pub fn parse_dense_tier(spec: &str) -> Result<DenseSolveTier, String> {
+    if let Some(samples) = spec.strip_prefix("interp:") {
+        let n: u64 = samples
+            .parse()
+            .map_err(|e| format!("interp samples: {e}"))?;
+        if !(2..=MAX_INTERP_SAMPLES).contains(&n) {
+            return Err(format!(
+                "interp samples must be in 2..={MAX_INTERP_SAMPLES}, got {n}"
+            ));
+        }
+        return Ok(DenseSolveTier::Interpolated {
+            samples: n as usize,
+        });
+    }
+    Ok(match spec {
+        "scalar" => DenseSolveTier::Scalar,
+        "batched" => DenseSolveTier::Batched,
+        other => {
+            return Err(format!(
+                "unknown dense tier {other:?} (use scalar, batched, or interp:<samples>)"
+            ))
+        }
     })
 }
 
@@ -184,6 +218,8 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "population",
             "policy",
             "jitter",
+            "dense_tier",
+            "shard_size",
         ],
         _ => &[],
     }
@@ -391,13 +427,23 @@ fn prepare_fleet(spec: &JobSpec) -> Result<PreparedJob, String> {
     if !jitter.is_finite() || !(0.0..=1.0).contains(&jitter) {
         return Err(format!("jitter must be in 0..=1, got {jitter}"));
     }
+    let dense_tier = match spec.get("dense_tier") {
+        None => DenseSolveTier::Batched,
+        Some(v) => parse_dense_tier(v)?,
+    };
+    let shard_size = parse_u64_field(spec, "shard_size", 16)?;
+    if shard_size == 0 || shard_size > MAX_SHARD_SIZE {
+        return Err(format!(
+            "shard_size must be in 1..={MAX_SHARD_SIZE}, got {shard_size}"
+        ));
+    }
 
     Ok(PreparedJob {
         seed,
         run: Box::new(move |ctx| {
             let Some(result) = run_fleet_controlled(
                 &build_fleet_spec(system, &env_kind, seed, population, &policy_spec, jitter),
-                fleet_config(days),
+                fleet_config(days, dense_tier, shard_size as usize),
                 FleetControl {
                     cancel: Some(ctx.cancel_token()),
                     progress: Some(&|done: u64, total: u64| {
@@ -461,11 +507,13 @@ pub fn build_fleet_spec(
     fleet
 }
 
-/// The exact [`FleetConfig`] a `fleet` job runs under (shard size kept
-/// small so progress events arrive while the job streams).
-pub fn fleet_config(days: f64) -> FleetConfig {
+/// The exact [`FleetConfig`] a `fleet` job runs under (the wire
+/// default shard size of 16 is kept small so progress events arrive
+/// while the job streams).
+pub fn fleet_config(days: f64, dense_tier: DenseSolveTier, shard_size: usize) -> FleetConfig {
     FleetConfig {
-        shard_size: 16,
+        shard_size,
+        dense_tier,
         ..FleetConfig::over(Seconds::from_days(days))
     }
 }
@@ -520,6 +568,49 @@ mod tests {
             .prepare(&spec("campaign", &[("system", "A"), ("seeds", "0")]))
             .is_err());
         assert!(catalog.prepare(&spec("mystery", &[])).is_err());
+        // Solve-tier and shard-geometry knobs: fleet-only, range-checked.
+        assert!(catalog
+            .prepare(&spec(
+                "fleet",
+                &[
+                    ("system", "A"),
+                    ("dense_tier", "interp:4096"),
+                    ("shard_size", "8")
+                ]
+            ))
+            .is_ok());
+        assert!(catalog
+            .prepare(&spec("fleet", &[("system", "A"), ("dense_tier", "warp")]))
+            .is_err());
+        assert!(catalog
+            .prepare(&spec(
+                "fleet",
+                &[("system", "A"), ("dense_tier", "interp:1")]
+            ))
+            .is_err());
+        assert!(catalog
+            .prepare(&spec("fleet", &[("system", "A"), ("shard_size", "0")]))
+            .is_err());
+        assert!(catalog
+            .prepare(&spec(
+                "single",
+                &[("system", "A"), ("dense_tier", "batched")]
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn dense_tier_spellings_round_trip() {
+        assert_eq!(parse_dense_tier("scalar"), Ok(DenseSolveTier::Scalar));
+        assert_eq!(parse_dense_tier("batched"), Ok(DenseSolveTier::Batched));
+        assert_eq!(
+            parse_dense_tier("interp:512"),
+            Ok(DenseSolveTier::Interpolated { samples: 512 })
+        );
+        assert!(parse_dense_tier("interp:").is_err());
+        assert!(parse_dense_tier("interp:1").is_err());
+        assert!(parse_dense_tier("interp:-4").is_err());
+        assert!(parse_dense_tier("INTERP:8").is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use mseh::daemon::{
 use mseh::node::SensorNode;
 use mseh::sim::serve::protocol::parse_line;
 use mseh::sim::serve::{serve, ServeConfig, ServerHandle};
-use mseh::sim::{run_fleet, run_simulation, SimConfig};
+use mseh::sim::{run_fleet, run_simulation, DenseSolveTier, SimConfig};
 use mseh::systems::SystemId;
 use mseh::units::Seconds;
 
@@ -213,11 +213,37 @@ fn streamed_fleet_digest_matches_direct_run_bit_for_bit() {
     let wire_digest = field(&result, "digest").expect("digest field");
 
     let spec = build_fleet_spec(SystemId::E, "office", 5, 24, "ladder", 0.1);
-    let direct = run_fleet(&spec, fleet_config(0.1));
+    let direct = run_fleet(&spec, fleet_config(0.1, DenseSolveTier::Batched, 16));
     assert_eq!(
         wire_digest,
         format!("{:016x}", digest_fleet(&direct.summary)),
         "daemon and direct fleet engine disagree bit-for-bit"
+    );
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn batched_tier_fleet_job_digest_matches_direct_run_bit_for_bit() {
+    let handle = start(8, 2);
+    let mut client = Client::connect(&handle);
+
+    // Explicit solve-tier and shard-geometry fields on the wire; the
+    // in-process reproduction passes the same knobs straight to the
+    // fleet engine and the digests must agree bit for bit.
+    let result = run_to_result(
+        &mut client,
+        "submit kind=fleet;system=E;env=office;days=0.1;seed=5;population=24;jitter=0.1;\
+         dense_tier=batched;shard_size=8",
+    );
+    let wire_digest = field(&result, "digest").expect("digest field");
+
+    let spec = build_fleet_spec(SystemId::E, "office", 5, 24, "ladder", 0.1);
+    let direct = run_fleet(&spec, fleet_config(0.1, DenseSolveTier::Batched, 8));
+    assert_eq!(
+        wire_digest,
+        format!("{:016x}", digest_fleet(&direct.summary)),
+        "batched-tier wire job and direct fleet engine disagree bit-for-bit"
     );
 
     handle.shutdown_and_wait();
@@ -342,6 +368,11 @@ fn malformed_specs_get_protocol_errors_and_daemon_survives() {
         "submit kind=fleet;system=A;jitter=2",
         "submit kind=campaign;system=A;seeds=0",
         "submit kind=single;system=A;days=-1",
+        // Solve-tier and shard knobs: bad spellings and ranges.
+        "submit kind=fleet;system=A;dense_tier=warp",
+        "submit kind=fleet;system=A;dense_tier=interp:1",
+        "submit kind=fleet;system=A;shard_size=0",
+        "submit kind=single;system=A;dense_tier=batched",
     ];
     for line in bad {
         let reply = client.roundtrip(line);
