@@ -99,8 +99,28 @@ impl DayProfileForecast {
         }
     }
 
+    /// Folds one observed harvest reading into the hourly profile
+    /// (EWMA once seeded, direct seed otherwise). [`Self::choose`]
+    /// calls this every control window; it is public so sibling
+    /// policies like [`ForecastDutySelect`] can learn the same profile
+    /// with identical arithmetic.
+    pub fn observe(&mut self, harvest: Watts, now: Seconds) {
+        let hour = (now.time_of_day().as_hours().floor() as usize) % 24;
+        if self.seeded[hour] {
+            self.bins[hour] = self.bins[hour] * (1.0 - self.alpha) + harvest * self.alpha;
+        } else {
+            self.bins[hour] = harvest;
+            self.seeded[hour] = true;
+        }
+    }
+
+    /// The planning horizon the policy budgets over.
+    pub fn horizon(&self) -> Seconds {
+        self.horizon
+    }
+
     /// Forecast energy arriving over the horizon starting at `now`.
-    fn forecast(&self, now: Seconds) -> Joules {
+    pub fn forecast(&self, now: Seconds) -> Joules {
         let fallback = self.learned_mean();
         let start_h = now.time_of_day().as_hours();
         let end_h = start_h + self.horizon.as_hours();
@@ -142,13 +162,7 @@ impl DutyCyclePolicy for DayProfileForecast {
             return DutyCycle::saturating(0.1);
         };
         // Learn.
-        let hour = (status.time.time_of_day().as_hours().floor() as usize) % 24;
-        if self.seeded[hour] {
-            self.bins[hour] = self.bins[hour] * (1.0 - self.alpha) + harvest * self.alpha;
-        } else {
-            self.bins[hour] = harvest;
-            self.seeded[hour] = true;
-        }
+        self.observe(harvest, status.time);
         // Reserve.
         if soc.value() < self.reserve_soc {
             return DutyCycle::ZERO;
@@ -166,6 +180,88 @@ impl DutyCyclePolicy for DayProfileForecast {
             budget = budget.max(harvest * (1.0 + urgency));
         }
         node.duty_for_power(budget)
+    }
+}
+
+/// A forecast-driven duty *selector*: learns the same diurnal profile
+/// as [`DayProfileForecast`] but instead of smearing the budget into a
+/// continuous duty it walks a fixed descending duty ladder and commits
+/// to the highest rung whose energy cost over the horizon fits the
+/// spendable budget (store above reserve plus discounted forecast).
+///
+/// The quantized rungs make the selector decisive: it holds a high
+/// duty while the forecast covers it and drops a whole rung — not a
+/// sliver — when it stops fitting. Against the continuous budgeter
+/// this trades smoothness for fewer, larger duty transitions, which
+/// suits loads whose useful work is bursty rather than proportional.
+#[derive(Debug, Clone)]
+pub struct ForecastDutySelect {
+    profile: DayProfileForecast,
+}
+
+/// Descending candidate duties the selector walks each window.
+const DUTY_LADDER: [f64; 10] = [1.0, 0.75, 0.5, 0.35, 0.25, 0.15, 0.1, 0.05, 0.02, 0.01];
+
+impl ForecastDutySelect {
+    /// Creates the selector with the given planning horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is not positive.
+    pub fn new(horizon: Seconds) -> Self {
+        Self {
+            profile: DayProfileForecast::new(horizon),
+        }
+    }
+
+    /// Read access to the learned profile.
+    pub fn profile(&self) -> &DayProfileForecast {
+        &self.profile
+    }
+}
+
+impl DutyCyclePolicy for ForecastDutySelect {
+    fn name(&self) -> &str {
+        "forecast duty-select"
+    }
+
+    fn required_monitoring(&self) -> MonitoringLevel {
+        MonitoringLevel::Full
+    }
+
+    fn choose(&mut self, node: &SensorNode, status: &EnergyStatus) -> DutyCycle {
+        let (Some(harvest), Some(soc), Some(stored)) =
+            (status.harvest_power, status.soc, status.stored)
+        else {
+            return DutyCycle::saturating(0.1);
+        };
+        self.profile.observe(harvest, status.time);
+        if soc.value() < self.profile.reserve_soc {
+            return DutyCycle::ZERO;
+        }
+        let reserve = stored * (self.profile.reserve_soc / soc.value().max(1e-9));
+        let spendable = (stored - reserve).max(Joules::ZERO)
+            + self.profile.forecast(status.time) * self.profile.safety;
+        let horizon = self.profile.horizon;
+        let mut picked = *DUTY_LADDER.last().expect("ladder is non-empty");
+        for &duty in &DUTY_LADDER {
+            let cost = node.average_power(DutyCycle::saturating(duty)) * horizon;
+            if cost <= spendable {
+                picked = duty;
+                break;
+            }
+        }
+        let mut duty = DutyCycle::saturating(picked);
+        // Spill guard: with the store nearly full, park the duty at
+        // least high enough to absorb the incoming harvest.
+        if soc.value() > 0.7 {
+            let urgency = (soc.value() - 0.7) / 0.3;
+            let floor = node.duty_for_power(harvest * (1.0 + urgency));
+            if floor.value() > duty.value() {
+                duty = floor;
+            }
+        }
+        duty
     }
 }
 
@@ -284,5 +380,71 @@ mod tests {
     #[should_panic(expected = "horizon")]
     fn rejects_zero_horizon() {
         DayProfileForecast::new(Seconds::ZERO);
+    }
+
+    fn train_select(policy: &mut ForecastDutySelect, node: &SensorNode, days: usize) {
+        for day in 0..days {
+            for h in 0..24 {
+                let hour = day as f64 * 24.0 + h as f64;
+                let harvest = if (8..16).contains(&h) { 6.0 } else { 0.0 };
+                policy.choose(node, &status(hour, harvest, 0.6));
+            }
+        }
+    }
+
+    #[test]
+    fn selector_picks_ladder_rungs() {
+        let node = SensorNode::milliwatt_class();
+        let mut p = ForecastDutySelect::new(Seconds::from_hours(12.0));
+        train_select(&mut p, &node, 3);
+        let d = p.choose(&node, &status(72.0 + 9.0, 6.0, 0.6));
+        assert!(
+            DUTY_LADDER.iter().any(|&r| (d.value() - r).abs() < 1e-12),
+            "duty {d} is not a ladder rung"
+        );
+    }
+
+    #[test]
+    fn selector_throttles_before_the_lean_hours() {
+        let node = SensorNode::milliwatt_class();
+        let mut p = ForecastDutySelect::new(Seconds::from_hours(12.0));
+        train_select(&mut p, &node, 3);
+        let morning = p.choose(&node, &status(72.0 + 9.0, 6.0, 0.6));
+        let pre_dusk = p.choose(&node, &status(72.0 + 15.0, 6.0, 0.6));
+        assert!(
+            morning.value() >= pre_dusk.value(),
+            "morning {morning} vs pre-dusk {pre_dusk}"
+        );
+    }
+
+    #[test]
+    fn selector_reserve_floor_halts_spending() {
+        let node = SensorNode::milliwatt_class();
+        let mut p = ForecastDutySelect::new(Seconds::from_hours(12.0));
+        train_select(&mut p, &node, 1);
+        assert_eq!(p.choose(&node, &status(30.0, 6.0, 0.05)), DutyCycle::ZERO);
+    }
+
+    #[test]
+    fn selector_blind_fallback() {
+        let node = SensorNode::milliwatt_class();
+        let mut p = ForecastDutySelect::new(Seconds::from_hours(12.0));
+        let d = p.choose(&node, &EnergyStatus::voltage_only(Volts::new(2.0)));
+        assert!((d.value() - 0.1).abs() < 1e-12);
+        assert_eq!(p.required_monitoring(), MonitoringLevel::Full);
+    }
+
+    #[test]
+    fn selector_spill_guard_raises_duty_when_full() {
+        let node = SensorNode::submilliwatt_class();
+        let mut p = ForecastDutySelect::new(Seconds::from_hours(12.0));
+        // Empty profile + low store: ladder pick is the bottom rung.
+        let lean = p.choose(&node, &status(0.0, 0.0, 0.3));
+        // Nearly full with a strong harvest: the guard must spend at
+        // least the incoming rate.
+        let full = p.choose(&node, &status(1.0, 5.0, 0.95));
+        assert!(full.value() > lean.value(), "{full} vs {lean}");
+        let floor = node.duty_for_power(Watts::from_milli(5.0));
+        assert!(full.value() + 1e-12 >= floor.value().min(1.0));
     }
 }

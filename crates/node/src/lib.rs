@@ -39,10 +39,12 @@ mod failover;
 mod forecast;
 mod node;
 mod policy;
+mod search;
 mod status;
 
 pub use failover::FailoverPolicy;
-pub use forecast::DayProfileForecast;
+pub use forecast::{DayProfileForecast, ForecastDutySelect};
 pub use node::{NodeDemand, SensorNode};
 pub use policy::{DutyCyclePolicy, EnergyNeutral, FixedDuty, VoltageThreshold};
+pub use search::HillClimbDuty;
 pub use status::{EnergyStatus, MonitoringLevel};

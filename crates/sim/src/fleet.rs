@@ -121,7 +121,7 @@ use mseh_power::{DcDcConverter, HarvestStep, InputChannel, PowerStage};
 use mseh_storage::{Battery, Storage, Supercap};
 use mseh_units::{Joules, Ratio, Seconds, Volts, Watts};
 
-mod dense_lanes;
+pub(crate) mod dense_lanes;
 
 /// Stream on each group's seed from which per-node seeds are drawn
 /// (disjoint from the environment's reserved streams and the jitter
@@ -316,11 +316,11 @@ pub enum DenseStore {
 /// [`MonitoringLevel::Full`] reporting; override with the builders to
 /// mirror the members' actual supervisor.
 pub struct DenseClass {
-    channel: Box<ChannelFactory>,
-    output: DcDcConverter,
-    store: DenseStore,
-    supervisor_overhead: Watts,
-    monitoring: MonitoringLevel,
+    pub(crate) channel: Box<ChannelFactory>,
+    pub(crate) output: DcDcConverter,
+    pub(crate) store: DenseStore,
+    pub(crate) supervisor_overhead: Watts,
+    pub(crate) monitoring: MonitoringLevel,
 }
 
 impl DenseClass {
@@ -759,21 +759,31 @@ pub struct FleetResult {
 
 /// Shared, immutable step plan derived from the config (mirrors the
 /// single-run kernel's step arithmetic exactly).
-struct StepPlan {
-    dt: Seconds,
-    start_at: Seconds,
-    duration: Seconds,
-    full_steps: u64,
-    frac_dt: Option<Seconds>,
-    steps: u64,
-    control_every: u64,
-    cadence: EnvCadence,
-    quantize_drop_bits: Option<u32>,
+pub(crate) struct StepPlan {
+    pub(crate) dt: Seconds,
+    pub(crate) start_at: Seconds,
+    pub(crate) duration: Seconds,
+    pub(crate) full_steps: u64,
+    pub(crate) frac_dt: Option<Seconds>,
+    pub(crate) steps: u64,
+    pub(crate) control_every: u64,
+    pub(crate) cadence: EnvCadence,
+    pub(crate) quantize_drop_bits: Option<u32>,
 }
 
 impl StepPlan {
     fn new(config: &FleetConfig) -> Self {
-        let sim = config.sim;
+        Self::from_sim(config.sim, config.cadence, config.quantize_drop_bits)
+    }
+
+    /// Builds the plan straight from a [`SimConfig`] plus the sampling
+    /// cadence and cache-key tier — shared with the policy arena, which
+    /// has no [`FleetConfig`].
+    pub(crate) fn from_sim(
+        sim: SimConfig,
+        cadence: EnvCadence,
+        quantize_drop_bits: Option<u32>,
+    ) -> Self {
         assert!(sim.dt.value() > 0.0, "dt must be positive");
         assert!(
             sim.duration >= sim.dt,
@@ -798,19 +808,19 @@ impl StepPlan {
             frac_dt,
             steps,
             control_every,
-            cadence: config.cadence,
-            quantize_drop_bits: config.quantize_drop_bits,
+            cadence,
+            quantize_drop_bits,
         }
     }
 
     #[inline]
-    fn time_at(&self, i: u64) -> Seconds {
+    pub(crate) fn time_at(&self, i: u64) -> Seconds {
         self.start_at + Seconds::new(i as f64 * self.dt.value())
     }
 
     /// Sample times for one site's condition table under the plan's
     /// cadence.
-    fn table_times(&self) -> Vec<Seconds> {
+    pub(crate) fn table_times(&self) -> Vec<Seconds> {
         match self.cadence {
             EnvCadence::PerStep => (0..self.steps).map(|i| self.time_at(i)).collect(),
             EnvCadence::PerWindow => (0..self.steps)
@@ -824,27 +834,27 @@ impl StepPlan {
 /// Everything the summary fold needs from one node, in plain scalars so
 /// shards stay cheap to ship back.
 #[derive(Clone)]
-struct NodeOutcome {
-    uptime: f64,
-    samples: f64,
-    harvested: Joules,
-    delivered: Joules,
-    shortfall: Joules,
-    demanded: Joules,
-    converter_losses: Joules,
-    brownout_steps: u64,
-    longest_outage_steps: u64,
-    min_store_voltage: Volts,
-    audit_residual: f64,
-    residual_signed: f64,
-    throughput: f64,
-    stranded: Joules,
-    cache: CacheStats,
-    interp_deviation: f64,
+pub(crate) struct NodeOutcome {
+    pub(crate) uptime: f64,
+    pub(crate) samples: f64,
+    pub(crate) harvested: Joules,
+    pub(crate) delivered: Joules,
+    pub(crate) shortfall: Joules,
+    pub(crate) demanded: Joules,
+    pub(crate) converter_losses: Joules,
+    pub(crate) brownout_steps: u64,
+    pub(crate) longest_outage_steps: u64,
+    pub(crate) min_store_voltage: Volts,
+    pub(crate) audit_residual: f64,
+    pub(crate) residual_signed: f64,
+    pub(crate) throughput: f64,
+    pub(crate) stranded: Joules,
+    pub(crate) cache: CacheStats,
+    pub(crate) interp_deviation: f64,
 }
 
 impl NodeOutcome {
-    fn to_sim_result(&self, duration: Seconds) -> SimResult {
+    pub(crate) fn to_sim_result(&self, duration: Seconds) -> SimResult {
         SimResult {
             duration,
             uptime: self.uptime,
@@ -868,7 +878,7 @@ impl NodeOutcome {
 /// fleet node is bit-identical to a standalone run. Returns `None` when
 /// `cancel` trips, checked once per control window.
 #[allow(clippy::too_many_arguments)]
-fn simulate_node(
+pub(crate) fn simulate_node(
     platform: &mut dyn Platform,
     node: &SensorNode,
     policy: &mut dyn DutyCyclePolicy,
@@ -1014,7 +1024,7 @@ fn simulate_node(
 /// fractional closing step always gets its own call (its `dt` differs).
 /// Returns `None` when `cancel` trips, checked once per control window.
 #[allow(clippy::too_many_arguments)]
-fn build_harvest_table(
+pub(crate) fn build_harvest_table(
     channel: &mut InputChannel,
     rows: &[EnvConditions],
     factors: &JitterFactors,
@@ -1082,7 +1092,7 @@ fn build_harvest_table(
 /// accumulator order exactly so lane choice never changes a result.
 /// Returns `None` when `cancel` trips, checked once per control window.
 #[allow(clippy::too_many_arguments)]
-fn simulate_node_dense<S: Storage + Clone>(
+pub(crate) fn simulate_node_dense<S: Storage + Clone>(
     template: &S,
     output: &DcDcConverter,
     supervisor_overhead: Watts,
@@ -1280,7 +1290,7 @@ fn simulate_node_dense<S: Storage + Clone>(
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

@@ -14,7 +14,9 @@
 //! over where its class parameters come from ([`DenseView`]): a
 //! [`DenseGroup`](super::DenseGroup) on the dense lane, or a boxed
 //! [`FleetGroup`](super::FleetGroup) whose members opted into the
-//! kernels via [`DenseClass`](super::DenseClass).
+//! kernels via [`DenseClass`](super::DenseClass). The policy arena
+//! drives the same core through [`run_lane_population`], supplying one
+//! policy per lane instead of seeding them from a factory.
 //!
 //! # Uniform fast path
 //!
@@ -48,8 +50,8 @@ use crate::cancel::{tripped, CancelToken};
 use mseh_env::rng::Noise;
 use mseh_env::{EnvConditions, EnvJitter, JitterFactors};
 use mseh_harvesters::CacheStats;
-use mseh_node::{EnergyStatus, MonitoringLevel, SensorNode};
-use mseh_power::{DcDcConverter, HarvestStep, PowerStage};
+use mseh_node::{DutyCyclePolicy, EnergyStatus, MonitoringLevel, SensorNode};
+use mseh_power::{DcDcConverter, HarvestStep, InputChannel, PowerStage};
 use mseh_storage::{Battery, BatteryLanes, Storage, Supercap, SupercapLanes};
 use mseh_units::{DutyCycle, Joules, Ratio, Volts, Watts};
 
@@ -66,6 +68,38 @@ pub(super) struct DenseView<'a> {
     pub(super) supervisor_overhead: Watts,
     pub(super) monitoring: MonitoringLevel,
     pub(super) policy: &'a PolicyFactory,
+}
+
+/// The node-side parameters of one lane population, with one policy
+/// per lane. The fleet derives the policies from a class factory and
+/// per-node seeds; the arena supplies one per contender. Policies are
+/// borrowed mutably so callers can read post-run policy state (e.g.
+/// failover counts) after the population finishes.
+pub(crate) struct LanePopulation<'a> {
+    pub(crate) node: &'a SensorNode,
+    pub(crate) output: &'a DcDcConverter,
+    pub(crate) supervisor_overhead: Watts,
+    pub(crate) monitoring: MonitoringLevel,
+    pub(crate) policies: &'a mut [Box<dyn DutyCyclePolicy>],
+}
+
+/// Where a lane population's harvests come from.
+pub(crate) enum LaneHarvest<'a> {
+    /// Every lane replays one class-wide per-step harvest table; cache
+    /// counters are synthesized exactly as the scalar dense path does
+    /// (every table read is a memoized replay). Populations in this
+    /// mode start on the uniform fast path.
+    Shared(&'a [HarvestStep]),
+    /// Each lane sees its own jittered snapshot of the window's base
+    /// conditions; the channel is driven once per window via
+    /// `window_lanes` across all lanes. The caller has verified
+    /// [`mseh_power::InputChannel::supports_window_lanes`] for the
+    /// plan's `dt`.
+    Jittered {
+        channel: Box<InputChannel>,
+        factors: Vec<JitterFactors>,
+        rows: &'a [EnvConditions],
+    },
 }
 
 /// The store-side lane kernel the generic runner drives: one whole-lane
@@ -176,7 +210,7 @@ impl LaneAcc {
 
 /// Steps global nodes `lo..hi` of a supercap-store dense class as one
 /// lane population, pushing their [`NodeOutcome`]s onto `out` in node
-/// order. See [`simulate_dense_run`] for the shared semantics.
+/// order. See [`run_lane_population`] for the shared semantics.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn simulate_supercap_run(
     view: &DenseView<'_>,
@@ -220,7 +254,7 @@ pub(super) fn simulate_supercap_run(
 /// every non-`Scalar` tier steps the exact [`BatteryLanes`] kernels
 /// (the one lane-wide `powf` per distinct idle `dt` is already the
 /// cheap path) and `interp_deviation` stays zero. See
-/// [`simulate_dense_run`] for the shared semantics.
+/// [`run_lane_population`] for the shared semantics.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn simulate_battery_run(
     view: &DenseView<'_>,
@@ -253,20 +287,9 @@ pub(super) fn simulate_battery_run(
     )
 }
 
-/// The generic lane runner: steps global nodes `lo..hi` of one dense
-/// class as a [`StoreLanes`] population.
-///
-/// `shared` is the class-wide harvest table for un-jittered runs (cache
-/// counters are synthesized exactly as the scalar dense path does:
-/// every table read is a replay); such runs start on the uniform fast
-/// path (see the module docs). Jittered runs build a group channel and
-/// drive it once per window over per-lane jittered snapshots; the
-/// caller has verified
-/// [`mseh_power::InputChannel::supports_window_lanes`] for the plan's
-/// `dt`.
-///
-/// Returns `false` — with no outcomes pushed — when `cancel` trips,
-/// checked once per control window.
+/// Fleet-facing wrapper: derives per-node seeds, policies, and (for
+/// jittered runs) the group channel + per-lane jitter factors, then
+/// hands the population to [`run_lane_population`].
 #[allow(clippy::too_many_arguments)]
 fn simulate_dense_run<L: StoreLanes>(
     view: &DenseView<'_>,
@@ -289,7 +312,147 @@ fn simulate_dense_run<L: StoreLanes>(
         let within = lo - group_start + i as u64;
         Noise::new(view.seed).bits(NODE_SEED_STREAM, within)
     };
+
+    let mut policies: Vec<Box<dyn DutyCyclePolicy>> =
+        (0..lanes_n).map(|i| (view.policy)(node_seed(i))).collect();
+
+    // Jittered runs drive the group channel once per window over every
+    // lane's jittered snapshot; the per-lane factors replicate the
+    // scalar path's per-node derivation.
+    let harvest = match shared {
+        Some(table) => LaneHarvest::Shared(table),
+        None => {
+            let mut ch = (view.channel)();
+            if plan.quantize_drop_bits.is_some() {
+                ch.set_cache_quantization(plan.quantize_drop_bits);
+            }
+            let factors: Vec<JitterFactors> = (0..lanes_n)
+                .map(|i| JitterFactors::derive(view.jitter, node_seed(i)))
+                .collect();
+            LaneHarvest::Jittered {
+                channel: Box::new(ch),
+                factors,
+                rows,
+            }
+        }
+    };
+
+    let mut pop = LanePopulation {
+        node: view.node,
+        output: view.output,
+        supervisor_overhead: view.supervisor_overhead,
+        monitoring: view.monitoring,
+        policies: &mut policies,
+    };
+    run_lane_population(
+        &mut pop,
+        solo,
+        cap,
+        initial_stored,
+        initial_losses,
+        interp_deviation,
+        harvest,
+        plan,
+        cancel,
+        out,
+    )
+}
+
+/// Steps a policy-lane population of a supercap-store class against a
+/// shared harvest table, pushing one [`NodeOutcome`] per lane onto
+/// `out` in lane order. Arena-facing analogue of
+/// [`simulate_supercap_run`]: lanes are one-per-policy rather than
+/// one-per-node.
+pub(crate) fn run_supercap_lanes(
+    pop: &mut LanePopulation<'_>,
+    template: &Supercap,
+    tier: DenseSolveTier,
+    table: &[HarvestStep],
+    plan: &StepPlan,
+    cancel: Option<&CancelToken>,
+    out: &mut Vec<NodeOutcome>,
+) -> bool {
+    let mut solo = SupercapLanes::from_template(template, 1);
+    let interp_deviation = match tier {
+        DenseSolveTier::Interpolated { samples } => solo.set_interpolation(samples),
+        _ => 0.0,
+    };
+    run_lane_population(
+        pop,
+        solo,
+        template.capacity(),
+        template.stored_energy().value(),
+        template.losses().value(),
+        interp_deviation,
+        LaneHarvest::Shared(table),
+        plan,
+        cancel,
+        out,
+    )
+}
+
+/// Steps a policy-lane population of a battery-store class against a
+/// shared harvest table. Arena-facing analogue of
+/// [`simulate_battery_run`].
+pub(crate) fn run_battery_lanes(
+    pop: &mut LanePopulation<'_>,
+    template: &Battery,
+    table: &[HarvestStep],
+    plan: &StepPlan,
+    cancel: Option<&CancelToken>,
+    out: &mut Vec<NodeOutcome>,
+) -> bool {
+    let solo = BatteryLanes::from_template(template, 1);
+    run_lane_population(
+        pop,
+        solo,
+        template.capacity(),
+        template.stored_energy().value(),
+        template.losses().value(),
+        0.0,
+        LaneHarvest::Shared(table),
+        plan,
+        cancel,
+        out,
+    )
+}
+
+/// The generic lane runner: steps one [`LanePopulation`] as a
+/// [`StoreLanes`] population, one lane per policy.
+///
+/// [`LaneHarvest::Shared`] populations replay the class-wide table
+/// (cache counters are synthesized exactly as the scalar dense path
+/// does: every table read is a replay) and start on the uniform fast
+/// path (see the module docs). [`LaneHarvest::Jittered`] populations
+/// drive the channel once per window over per-lane jittered snapshots.
+///
+/// Returns `false` — with no outcomes pushed — when `cancel` trips,
+/// checked once per control window.
+#[allow(clippy::too_many_arguments)]
+fn run_lane_population<L: StoreLanes>(
+    pop: &mut LanePopulation<'_>,
+    solo: L,
+    cap: Joules,
+    initial_stored: f64,
+    initial_losses: f64,
+    interp_deviation: f64,
+    harvest: LaneHarvest<'_>,
+    plan: &StepPlan,
+    cancel: Option<&CancelToken>,
+    out: &mut Vec<NodeOutcome>,
+) -> bool {
+    let lanes_n = pop.policies.len();
     let recognized = cap;
+
+    let empty_rows: &[EnvConditions] = &[];
+    let (shared, mut channel, factors, rows) = match harvest {
+        LaneHarvest::Shared(table) => (Some(table), None, Vec::new(), empty_rows),
+        LaneHarvest::Jittered {
+            channel,
+            factors,
+            rows,
+        } => (None, Some(channel), factors, rows),
+    };
 
     // Uniform fast path: un-jittered lanes all start in the template
     // state and read the same table, so step one lane until the
@@ -303,28 +466,8 @@ fn simulate_dense_run<L: StoreLanes>(
     // Lanes actually stepped this window (1 while uniform).
     let mut active = if uniform { 1 } else { lanes_n };
 
-    let mut policies: Vec<_> = (0..lanes_n).map(|i| (view.policy)(node_seed(i))).collect();
     let mut acc: Vec<LaneAcc> = (0..lanes_n).map(|_| LaneAcc::new()).collect();
 
-    // Jittered runs drive the group channel once per window over every
-    // lane's jittered snapshot; the per-lane factors replicate the
-    // scalar path's per-node derivation.
-    let mut channel = if shared.is_none() {
-        let mut ch = (view.channel)();
-        if plan.quantize_drop_bits.is_some() {
-            ch.set_cache_quantization(plan.quantize_drop_bits);
-        }
-        Some(ch)
-    } else {
-        None
-    };
-    let factors: Vec<JitterFactors> = if shared.is_none() {
-        (0..lanes_n)
-            .map(|i| JitterFactors::derive(view.jitter, node_seed(i)))
-            .collect()
-    } else {
-        Vec::new()
-    };
     let mut jenvs: Vec<EnvConditions> = Vec::new();
     let mut whs: Vec<HarvestStep> = vec![HarvestStep::default(); lanes_n];
     let mut fhs: Vec<HarvestStep> = vec![HarvestStep::default(); lanes_n];
@@ -375,11 +518,11 @@ fn simulate_dense_run<L: StoreLanes>(
                 recognized * soc_actual,
                 acc[0].last_harvest,
             )
-            .clamped_to(view.monitoring);
+            .clamped_to(pop.monitoring);
             let timed = status.at(plan.time_at(window_start));
             let mut diverged = false;
             for i in 0..lanes_n {
-                duties[i] = policies[i].choose(view.node, &timed);
+                duties[i] = pop.policies[i].choose(pop.node, &timed);
                 if duties[i].value().to_bits() != duties[0].value().to_bits() {
                     diverged = true;
                 }
@@ -394,8 +537,8 @@ fn simulate_dense_run<L: StoreLanes>(
                 uniform = false;
             }
             for i in 0..active {
-                loads[i] = view.node.average_power(duties[i]);
-                wsamples[i] = view.node.step(duties[i], plan.dt).samples;
+                loads[i] = pop.node.average_power(duties[i]);
+                wsamples[i] = pop.node.step(duties[i], plan.dt).samples;
             }
         } else {
             for i in 0..lanes_n {
@@ -410,11 +553,11 @@ fn simulate_dense_run<L: StoreLanes>(
                     recognized * soc_actual,
                     acc[i].last_harvest,
                 )
-                .clamped_to(view.monitoring);
-                let duty = policies[i].choose(view.node, &status.at(plan.time_at(window_start)));
+                .clamped_to(pop.monitoring);
+                let duty = pop.policies[i].choose(pop.node, &status.at(plan.time_at(window_start)));
                 duties[i] = duty;
-                loads[i] = view.node.average_power(duty);
-                wsamples[i] = view.node.step(duty, plan.dt).samples;
+                loads[i] = pop.node.average_power(duty);
+                wsamples[i] = pop.node.step(duty, plan.dt).samples;
             }
         }
 
@@ -459,13 +602,13 @@ fn simulate_dense_run<L: StoreLanes>(
                 let load = loads[i];
 
                 let harvested_w = hs.delivered;
-                let overhead_w = view.supervisor_overhead + view.output.quiescent() + hs.overhead;
+                let overhead_w = pop.supervisor_overhead + pop.output.quiescent() + hs.overhead;
                 acc[i].last_harvest = harvested_w;
 
                 let store_v = Volts::new(lanes.voltage(i));
                 let (load_in_w, servable) = if load.value() > 0.0 {
-                    if view.output.accepts_input_voltage(store_v) {
-                        (view.output.input_for_output(load, store_v), true)
+                    if pop.output.accepts_input_voltage(store_v) {
+                        (pop.output.input_for_output(load, store_v), true)
                     } else {
                         (Watts::ZERO, false)
                     }
@@ -515,7 +658,7 @@ fn simulate_dense_run<L: StoreLanes>(
             for i in 0..active {
                 let load = loads[i];
                 let (step_samples, step_load_energy) = if frac_step {
-                    (view.node.step(duties[i], step_dt).samples, load * step_dt)
+                    (pop.node.step(duties[i], step_dt).samples, load * step_dt)
                 } else {
                     (wsamples[i], load * plan.dt)
                 };

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod campaign;
 mod cancel;
 mod ensemble;
@@ -74,6 +75,10 @@ mod runner;
 pub mod serve;
 mod sweep;
 
+pub use arena::{
+    default_contenders, run_arena, run_arena_controlled, ArenaConfig, ArenaResult, ArenaSpec,
+    ArenaSummary, Contender, ContenderStanding, EnvFactory,
+};
 pub use campaign::{
     run_resilience_campaign, run_resilience_campaign_cancellable,
     run_resilience_campaign_with_threads, CampaignConfig, CampaignSummary, FaultScenario,

@@ -117,6 +117,45 @@ awk -v q="$batt_quick" -v b="$batt_baseline" 'BEGIN {
     printf "ok: dense_battery_batched_node_steps_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
 }'
 
+echo "==> arena regression gate (quick policy-evals/s vs committed BENCH_sim.json)"
+# The policy-arena throughput headline. The arena times a fixed spec
+# (32 contenders, 7 days) in both modes, so quick and committed compare
+# identically; same 30% floor rationale as the fleet gates — a real
+# regression (losing the shared harvest table and re-solving per lane)
+# costs ~6x.
+arena_baseline="$(awk -F': ' '/"policy_evals_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_sim.json)"
+arena_quick="$(awk -F': ' '/"policy_evals_per_sec"/ { gsub(/[ ,]/, "", $2); print $2; exit }' target/BENCH_sim_quick.json)"
+awk -v q="$arena_quick" -v b="$arena_baseline" 'BEGIN {
+    floor = b * 0.7
+    if (q + 0 < floor) {
+        printf "FAIL: arena policy_evals_per_sec %.1f is >30%% below committed baseline %.1f (floor %.1f)\n", q, b, floor
+        exit 1
+    }
+    printf "ok: arena policy_evals_per_sec %.1f vs committed %.1f (floor %.1f)\n", q, b, floor
+}'
+
+echo "==> arena amortization gate (32 lanes vs one standalone run)"
+# The tentpole claim: 32 policy lanes over one shared trace must cost
+# no more than 6x a single run — i.e. the shared-environment lockstep
+# amortization factor (32 x single / arena) stays >= 5.
+arena_amort="$(awk -F': ' '/"amortization_factor"/ { gsub(/[ ,]/, "", $2); print $2; exit }' target/BENCH_sim_quick.json)"
+awk -v a="$arena_amort" 'BEGIN {
+    if (a + 0 < 5.0) {
+        printf "FAIL: arena amortization factor %.2f below the 5x floor\n", a
+        exit 1
+    }
+    printf "ok: arena amortization factor %.2f (floor 5.0)\n", a
+}'
+
+echo "==> arena bit-identity smoke (every lane vs its independent run)"
+# The harness asserts full SimResult equality for all 32 lanes against
+# fresh run_simulation runs before writing the flag.
+grep -q '"arena_lanes_match_independent_runs": true' target/BENCH_sim_quick.json || {
+    echo "FAIL: arena lanes diverged from independent runs"
+    exit 1
+}
+echo "ok: all arena lanes bit-identical to independent runs"
+
 echo "==> batched-solve bit-identity smoke (supercap lane, batched vs scalar tier)"
 # The harness asserts full summary equality (cache counters included)
 # before writing the flag.

@@ -13,11 +13,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mseh::core::{classify, render_table};
-use mseh::daemon::{make_env, make_policy, parse_system, SystemCatalog};
+use mseh::daemon::{build_arena_spec, make_env, make_policy, parse_system, SystemCatalog};
 use mseh::env::Environment;
 use mseh::node::{FixedDuty, SensorNode};
 use mseh::sim::serve::{serve, ServeConfig};
-use mseh::sim::{run_simulation, SimConfig};
+use mseh::sim::{run_arena, run_simulation, ArenaConfig, SimConfig};
 use mseh::systems::{all_systems, SystemId};
 use mseh::units::{DutyCycle, Seconds};
 
@@ -31,11 +31,18 @@ USAGE:
                   [--policy POLICY] [--record FILE.csv]
     mseh sweep-buffer [--days N] [--seed N]
     mseh survey [--env ENV] [--days N] [--seed N]
+    mseh arena [--system A..G] [--env ENV] [--days N] [--seed N]
+               [--seeds K] [--roster LIST]
     mseh serve [--addr HOST:PORT] [--queue N] [--workers N]
 
 ENV:      outdoor (default) | winter | indoor | office | agricultural
 POLICY:   ladder (default) | neutral | forecast | fixed:<duty 0..1>
 RECORD:   writes store-voltage/harvest/duty time series as CSV
+ROSTER:   default (the stock tournament) or a comma-separated list of
+          POLICY spellings plus select | hillclimb
+ARENA:    ranks the roster's policies over K seeded scenario replays of
+          one shared environment trace each — every lane bit-identical
+          to an independent simulate run
 SERVE:    long-running job daemon (default addr 127.0.0.1:7878); see the
           README's \"Service mode\" section for the line protocol
 
@@ -64,6 +71,14 @@ enum Command {
         days: f64,
         seed: u64,
     },
+    Arena {
+        system: SystemId,
+        env: String,
+        days: f64,
+        seed: u64,
+        seeds: u64,
+        roster: String,
+    },
     Serve {
         addr: String,
         queue: usize,
@@ -79,6 +94,7 @@ fn allowed_options(sub: &str) -> &'static [&'static str] {
         "simulate" => &["system", "env", "days", "seed", "policy", "record"],
         "sweep-buffer" => &["days", "seed"],
         "survey" => &["env", "days", "seed"],
+        "arena" => &["system", "env", "days", "seed", "seeds", "roster"],
         "serve" => &["addr", "queue", "workers"],
         _ => &[],
     }
@@ -156,6 +172,27 @@ fn parse(args: &[String]) -> Result<Command, String> {
             days: days(3.0)?,
             seed: seed()?,
         }),
+        "arena" => {
+            let system = parse_system(opts.get("system").map(String::as_str).unwrap_or("B"))?;
+            let seeds: u64 = match opts.get("seeds") {
+                None => 4,
+                Some(v) => v.parse().map_err(|e| format!("--seeds: {e}"))?,
+            };
+            if seeds == 0 {
+                return Err("--seeds must be at least 1".into());
+            }
+            Ok(Command::Arena {
+                system,
+                env: opts.get("env").cloned().unwrap_or_else(|| "outdoor".into()),
+                days: days(2.0)?,
+                seed: seed()?,
+                seeds,
+                roster: opts
+                    .get("roster")
+                    .cloned()
+                    .unwrap_or_else(|| "default".into()),
+            })
+        }
         "serve" => {
             let parse_count = |key: &str, default: usize| -> Result<usize, String> {
                 let n: usize = match opts.get(key) {
@@ -304,6 +341,47 @@ fn run(cmd: Command) -> Result<(), String> {
                 println!("{farads:>8.0} | {:>7.2} %", result.uptime * 100.0);
             }
         }
+        Command::Arena {
+            system,
+            env,
+            days,
+            seed,
+            seeds,
+            roster,
+        } => {
+            let spec = build_arena_spec(system, &env, seed, seeds, &roster)?;
+            println!(
+                "arena: {system} in {env} for {days} days — {} contenders × {seeds} seeds (base seed {seed})",
+                spec.contenders().len(),
+            );
+            let out = run_arena(&spec, ArenaConfig::over(Seconds::from_days(days)));
+            let s = &out.summary;
+            println!(
+                "{} lanes, {} steps each; kernel cache {} hits / {} misses; audit {:.2e}",
+                s.lanes,
+                s.steps_per_lane,
+                s.kernel_cache.hits,
+                s.kernel_cache.misses,
+                s.audit_relative
+            );
+            println!(
+                "{:>4} | {:<24} | {:>8} | {:>8} | {:>7} | {:>10} | {:>9}",
+                "rank", "contender", "served", "uptime", "neutral", "samples", "failovers"
+            );
+            for standing in &s.standings {
+                println!(
+                    "{:>4} | {:<24} | {:>7.3}% | {:>7.3}% | {:>4}/{:<2} | {:>10.0} | {:>9}",
+                    standing.rank,
+                    standing.name,
+                    standing.served_fraction * 100.0,
+                    standing.uptime.mean * 100.0,
+                    standing.energy_neutral_seeds,
+                    s.seeds,
+                    standing.samples,
+                    standing.failovers,
+                );
+            }
+        }
         Command::Serve {
             addr,
             queue,
@@ -446,6 +524,48 @@ mod tests {
         assert!(parse(&argv("simulate --days -1")).is_err());
         assert!(parse(&argv("simulate --days nan")).is_err());
         assert!(parse(&argv("simulate --days inf")).is_err());
+    }
+
+    #[test]
+    fn parses_arena_options() {
+        match parse(&argv("arena")).unwrap() {
+            Command::Arena {
+                system,
+                env,
+                days,
+                seed,
+                seeds,
+                roster,
+            } => {
+                assert_eq!(system, SystemId::B);
+                assert_eq!(env, "outdoor");
+                assert_eq!(days, 2.0);
+                assert_eq!(seed, 42);
+                assert_eq!(seeds, 4);
+                assert_eq!(roster, "default");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "arena --system D --env office --days 1 --seed 7 --seeds 8 --roster ladder,hillclimb",
+        ))
+        .unwrap()
+        {
+            Command::Arena {
+                system,
+                seeds,
+                roster,
+                ..
+            } => {
+                assert_eq!(system, SystemId::D);
+                assert_eq!(seeds, 8);
+                assert_eq!(roster, "ladder,hillclimb");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("arena --seeds 0")).is_err());
+        assert!(parse(&argv("arena --system Z")).is_err());
+        assert!(parse(&argv("arena --population 4")).is_err());
     }
 
     #[test]

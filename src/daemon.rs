@@ -15,6 +15,7 @@
 //! | `single` | `system`, `env`, `days`, `seed`, `policy` | one [`run_simulation`] |
 //! | `campaign` | `system`, `days`, `seed`, `seeds` | a resilience campaign |
 //! | `fleet` | `system`, `env`, `days`, `seed`, `population`, `policy`, `jitter`, `dense_tier`, `shard_size` | a fleet run |
+//! | `arena` | `system`, `env`, `days`, `seed`, `seeds`, `roster` | a policy arena |
 //!
 //! Every field is optional except `system`; defaults mirror the CLI.
 //! All validation happens in `prepare` — a malformed spec becomes an
@@ -23,13 +24,17 @@
 //! [`run_simulation`]: mseh_sim::run_simulation
 
 use mseh_env::{EnvJitter, Environment};
-use mseh_node::{DayProfileForecast, DutyCyclePolicy, EnergyNeutral, FixedDuty, VoltageThreshold};
+use mseh_node::{
+    DayProfileForecast, DutyCyclePolicy, EnergyNeutral, FixedDuty, ForecastDutySelect,
+    HillClimbDuty, VoltageThreshold,
+};
 use mseh_sim::serve::protocol::Digest;
 use mseh_sim::serve::{JobContext, JobOutput, JobRunner, JobSpec, PreparedJob};
 use mseh_sim::{
-    run_fleet_controlled, run_resilience_campaign_cancellable, run_simulation_cancellable,
-    CampaignConfig, CampaignSummary, DenseSolveTier, FleetConfig, FleetControl, FleetGroup,
-    FleetSpec, FleetSummary, SimConfig, SimObserver, SimResult,
+    default_contenders, run_arena_controlled, run_fleet_controlled,
+    run_resilience_campaign_cancellable, run_simulation_cancellable, ArenaConfig, ArenaSpec,
+    ArenaSummary, CampaignConfig, CampaignSummary, Contender, DenseSolveTier, FleetConfig,
+    FleetControl, FleetGroup, FleetSpec, FleetSummary, SimConfig, SimObserver, SimResult,
 };
 use mseh_systems::resilience::{natural_node, resilience_scenario};
 use mseh_systems::SystemId;
@@ -47,6 +52,8 @@ const MAX_SEEDS: u64 = 4096;
 const MAX_SHARD_SIZE: u64 = 1 << 20;
 /// Largest accepted interpolation-table knot count for the dense tier.
 const MAX_INTERP_SAMPLES: u64 = 1 << 20;
+/// Largest accepted arena roster.
+const MAX_CONTENDERS: usize = 256;
 
 /// Parses a surveyed system id (`A`..`G`, case-insensitive).
 pub fn parse_system(s: &str) -> Result<SystemId, String> {
@@ -90,6 +97,55 @@ pub fn make_policy(spec: &str) -> Result<Box<dyn DutyCyclePolicy>, String> {
         "forecast" => Box::new(DayProfileForecast::new(Seconds::from_hours(14.0))),
         other => return Err(format!("unknown policy {other:?}")),
     })
+}
+
+/// Builds one arena contender from its CLI/wire spelling: every
+/// [`make_policy`] spelling works, plus `select` (forecast-driven duty
+/// selection) and `hillclimb` (seeded duty search, reseeded per
+/// scenario seed so rankings average over its exploration noise).
+pub fn make_contender(spec: &str) -> Result<Contender, String> {
+    match spec {
+        "select" => Ok(Contender::new("select", |_| {
+            Box::new(ForecastDutySelect::new(Seconds::from_hours(14.0)))
+        })),
+        "hillclimb" => Ok(Contender::new("hillclimb", |seed| {
+            Box::new(HillClimbDuty::new(seed))
+        })),
+        other => {
+            make_policy(other)?;
+            let spelling = other.to_string();
+            Ok(Contender::new(other, move |_| {
+                make_policy(&spelling).expect("validated spelling")
+            }))
+        }
+    }
+}
+
+/// Builds an arena roster from its CLI/wire spelling: `default` (the
+/// stock [`default_contenders`] tournament) or a comma-separated list
+/// of [`make_contender`] spellings with no duplicates.
+pub fn make_roster(spec: &str) -> Result<Vec<Contender>, String> {
+    if spec == "default" {
+        return Ok(default_contenders());
+    }
+    let mut roster = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err("empty contender in roster".into());
+        }
+        if roster.iter().any(|c: &Contender| c.name() == entry) {
+            return Err(format!("duplicate contender {entry:?} in roster"));
+        }
+        roster.push(make_contender(entry)?);
+    }
+    if roster.len() > MAX_CONTENDERS {
+        return Err(format!(
+            "roster must have at most {MAX_CONTENDERS} contenders, got {}",
+            roster.len()
+        ));
+    }
+    Ok(roster)
 }
 
 /// Parses a dense solve tier from its CLI/wire spelling
@@ -183,8 +239,39 @@ pub fn digest_fleet(summary: &FleetSummary) -> u64 {
         .f64(summary.demanded.value())
         .f64(summary.converter_losses.value())
         .f64(summary.min_store_voltage.value())
+        .f64(summary.interp_max_deviation)
         .f64(summary.audit_relative)
         .finish()
+}
+
+/// Bit-exact digest of an arena summary (receipt `digest` for `arena`
+/// jobs): run geometry plus every standing, in rank order.
+pub fn digest_arena(summary: &ArenaSummary) -> u64 {
+    let mut digest = Digest::new()
+        .u64(summary.contenders)
+        .u64(summary.seeds)
+        .u64(summary.lanes)
+        .u64(summary.steps_per_lane)
+        .f64(summary.duration.value())
+        .f64(summary.interp_max_deviation)
+        .f64(summary.audit_relative);
+    for s in &summary.standings {
+        digest = digest
+            .str(&s.name)
+            .u64(s.rank as u64)
+            .f64(s.served_fraction)
+            .f64(s.uptime.mean)
+            .f64(s.uptime.min)
+            .f64(s.uptime.max)
+            .f64(s.harvested.value())
+            .f64(s.delivered.value())
+            .f64(s.shortfall.value())
+            .f64(s.samples)
+            .u64(s.brownout_steps)
+            .u64(s.energy_neutral_seeds)
+            .u64(s.failovers);
+    }
+    digest.finish()
 }
 
 /// The survey's [`JobRunner`]: validates specs against the reference
@@ -199,8 +286,9 @@ impl JobRunner for SystemCatalog {
             "single" => prepare_single(spec),
             "campaign" => prepare_campaign(spec),
             "fleet" => prepare_fleet(spec),
+            "arena" => prepare_arena(spec),
             other => Err(format!(
-                "unknown job kind {other:?} (use single, campaign, or fleet)"
+                "unknown job kind {other:?} (use single, campaign, fleet, or arena)"
             )),
         }
     }
@@ -221,6 +309,7 @@ fn allowed_fields(kind: &str) -> &'static [&'static str] {
             "dense_tier",
             "shard_size",
         ],
+        "arena" => &["system", "env", "days", "seed", "seeds", "roster"],
         _ => &[],
     }
 }
@@ -458,23 +547,114 @@ fn prepare_fleet(spec: &JobSpec) -> Result<PreparedJob, String> {
                 return Ok(None);
             };
             let s = &result.summary;
+            let mut fields = vec![
+                ("population".into(), s.population.to_string()),
+                ("uptime_mean".into(), format!("{:.6}", s.uptime.mean)),
+                ("uptime_min".into(), format!("{:.6}", s.uptime.min)),
+                (
+                    "neutral_fraction".into(),
+                    format!("{:.6}", s.energy_neutral_fraction),
+                ),
+                ("harvested_j".into(), format!("{:.6}", s.harvested.value())),
+                ("delivered_j".into(), format!("{:.6}", s.delivered.value())),
+                ("audit".into(), format!("{:.3e}", s.audit_relative)),
+            ];
+            // Interpolated runs report their accuracy envelope on the
+            // wire: the worst per-step voltage deviation any node's
+            // interpolated solve showed against the exact kernel.
+            if matches!(dense_tier, DenseSolveTier::Interpolated { .. }) {
+                fields.push((
+                    "interp_max_dev".into(),
+                    format!("{:.6e}", s.interp_max_deviation),
+                ));
+            }
             Ok(Some(JobOutput {
                 digest: digest_fleet(s),
+                fields,
+            }))
+        }),
+    })
+}
+
+fn prepare_arena(spec: &JobSpec) -> Result<PreparedJob, String> {
+    let system = parse_system(spec.get("system").ok_or("missing system field")?)?;
+    let seed = parse_u64_field(spec, "seed", 17)?;
+    let count = parse_u64_field(spec, "seeds", 4)?;
+    if count == 0 || count > MAX_SEEDS {
+        return Err(format!("seeds must be in 1..={MAX_SEEDS}, got {count}"));
+    }
+    let days = parse_days(spec, 1.0)?;
+    let env_kind = spec.get("env").unwrap_or("outdoor").to_string();
+    make_env(&env_kind, seed)?;
+    let roster_spec = spec.get("roster").unwrap_or("default").to_string();
+    make_roster(&roster_spec)?;
+
+    Ok(PreparedJob {
+        seed,
+        run: Box::new(move |ctx| {
+            let arena = build_arena_spec(system, &env_kind, seed, count, &roster_spec)
+                .expect("validated in prepare");
+            let Some(result) = run_arena_controlled(
+                &arena,
+                ArenaConfig::over(Seconds::from_days(days)),
+                FleetControl {
+                    cancel: Some(ctx.cancel_token()),
+                    progress: Some(&|done: u64, total: u64| {
+                        ctx.emit(&[
+                            ("lanes", done.to_string()),
+                            ("total_lanes", total.to_string()),
+                        ]);
+                    }),
+                },
+            )?
+            else {
+                return Ok(None);
+            };
+            let s = &result.summary;
+            let top = &s.standings[0];
+            Ok(Some(JobOutput {
+                digest: digest_arena(s),
                 fields: vec![
-                    ("population".into(), s.population.to_string()),
-                    ("uptime_mean".into(), format!("{:.6}", s.uptime.mean)),
-                    ("uptime_min".into(), format!("{:.6}", s.uptime.min)),
+                    ("contenders".into(), s.contenders.to_string()),
+                    ("seeds".into(), s.seeds.to_string()),
+                    ("lanes".into(), s.lanes.to_string()),
+                    ("winner".into(), top.name.clone()),
                     (
-                        "neutral_fraction".into(),
-                        format!("{:.6}", s.energy_neutral_fraction),
+                        "winner_served".into(),
+                        format!("{:.6}", top.served_fraction),
                     ),
-                    ("harvested_j".into(), format!("{:.6}", s.harvested.value())),
-                    ("delivered_j".into(), format!("{:.6}", s.delivered.value())),
+                    ("winner_uptime".into(), format!("{:.6}", top.uptime.mean)),
                     ("audit".into(), format!("{:.3e}", s.audit_relative)),
                 ],
             }))
         }),
     })
+}
+
+/// The exact [`ArenaSpec`] an `arena` job runs — public so tests and
+/// the CLI can reproduce a wire job via [`mseh_sim::run_arena`]
+/// directly and assert digest equality. Scenario seeds are the `count`
+/// consecutive values from `seed`; each lane's platform is a fresh
+/// build of the surveyed system.
+pub fn build_arena_spec(
+    system: SystemId,
+    env_kind: &str,
+    seed: u64,
+    count: u64,
+    roster: &str,
+) -> Result<ArenaSpec, String> {
+    let contenders = make_roster(roster)?;
+    make_env(env_kind, seed)?;
+    let env_kind = env_kind.to_string();
+    let seeds: Vec<u64> = (0..count).map(|i| seed.wrapping_add(i)).collect();
+    Ok(ArenaSpec::boxed(
+        &format!("{system}"),
+        natural_node(system),
+        move |_| Box::new(system.build()),
+        move |s| make_env(&env_kind, s).expect("validated env"),
+    )
+    .with_contenders(contenders)
+    .with_seeds(&seeds))
 }
 
 /// The exact [`FleetSpec`] a `fleet` job runs — public so tests can
@@ -597,6 +777,61 @@ mod tests {
                 &[("system", "A"), ("dense_tier", "batched")]
             ))
             .is_err());
+    }
+
+    #[test]
+    fn validates_arena_specs_eagerly() {
+        let catalog = SystemCatalog;
+        assert!(catalog.prepare(&spec("arena", &[("system", "B")])).is_ok());
+        assert!(catalog
+            .prepare(&spec(
+                "arena",
+                &[("system", "B"), ("roster", "ladder,neutral,hillclimb")]
+            ))
+            .is_ok());
+        assert!(catalog.prepare(&spec("arena", &[])).is_err());
+        assert!(catalog
+            .prepare(&spec("arena", &[("system", "B"), ("seeds", "0")]))
+            .is_err());
+        assert!(catalog
+            .prepare(&spec("arena", &[("system", "B"), ("roster", "warp")]))
+            .is_err());
+        assert!(catalog
+            .prepare(&spec(
+                "arena",
+                &[("system", "B"), ("roster", "ladder,ladder")]
+            ))
+            .is_err());
+        assert!(catalog
+            .prepare(&spec(
+                "arena",
+                &[("system", "B"), ("roster", "ladder,,neutral")]
+            ))
+            .is_err());
+        // Fleet-only knobs stay fleet-only.
+        assert!(catalog
+            .prepare(&spec("arena", &[("system", "B"), ("population", "8")]))
+            .is_err());
+    }
+
+    #[test]
+    fn rosters_construct() {
+        assert!(make_roster("default").unwrap().len() >= 8);
+        let roster = make_roster("ladder,fixed:0.1,select,hillclimb").unwrap();
+        assert_eq!(roster.len(), 4);
+        assert_eq!(roster[1].name(), "fixed:0.1");
+        assert!(make_roster("").is_err());
+        assert!(make_roster("fixed:2").is_err());
+    }
+
+    #[test]
+    fn arena_digest_is_value_sensitive() {
+        let arena = build_arena_spec(SystemId::B, "indoor", 3, 2, "ladder,fixed:0.05").unwrap();
+        let out = mseh_sim::run_arena(&arena, ArenaConfig::over(Seconds::from_hours(2.0)));
+        let d1 = digest_arena(&out.summary);
+        let mut tweaked = out.summary;
+        tweaked.standings[0].served_fraction += 1e-12;
+        assert_ne!(d1, digest_arena(&tweaked));
     }
 
     #[test]

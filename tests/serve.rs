@@ -12,13 +12,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mseh::daemon::{
-    build_fleet_spec, digest_fleet, digest_single, fleet_config, make_env, make_policy,
-    SystemCatalog,
+    build_arena_spec, build_fleet_spec, digest_arena, digest_fleet, digest_single, fleet_config,
+    make_env, make_policy, SystemCatalog,
 };
 use mseh::node::SensorNode;
 use mseh::sim::serve::protocol::parse_line;
 use mseh::sim::serve::{serve, ServeConfig, ServerHandle};
-use mseh::sim::{run_fleet, run_simulation, DenseSolveTier, SimConfig};
+use mseh::sim::{run_arena, run_fleet, run_simulation, ArenaConfig, DenseSolveTier, SimConfig};
 use mseh::systems::SystemId;
 use mseh::units::Seconds;
 
@@ -250,6 +250,81 @@ fn batched_tier_fleet_job_digest_matches_direct_run_bit_for_bit() {
 }
 
 #[test]
+fn interpolated_fleet_job_reports_its_deviation_envelope_on_the_wire() {
+    let handle = start(8, 2);
+    let mut client = Client::connect(&handle);
+
+    let result = run_to_result(
+        &mut client,
+        "submit kind=fleet;system=E;env=office;days=0.1;seed=5;population=24;\
+         dense_tier=interp:64",
+    );
+    let wire_dev = field(&result, "interp_max_dev").expect("interp_max_dev field");
+
+    // Round-trip: the wire value must be exactly the direct run's
+    // summary field under the same formatting.
+    let spec = build_fleet_spec(SystemId::E, "office", 5, 24, "ladder", 0.0);
+    let direct = run_fleet(
+        &spec,
+        fleet_config(0.1, DenseSolveTier::Interpolated { samples: 64 }, 16),
+    );
+    assert_eq!(
+        wire_dev,
+        format!("{:.6e}", direct.summary.interp_max_deviation),
+        "wire deviation envelope and direct run disagree"
+    );
+    assert_eq!(
+        field(&result, "digest").expect("digest"),
+        format!("{:016x}", digest_fleet(&direct.summary)),
+    );
+
+    // Exact tiers don't carry the field: there is no envelope to report.
+    let exact = run_to_result(
+        &mut client,
+        "submit kind=fleet;system=E;env=office;days=0.1;seed=5;population=24;\
+         dense_tier=batched",
+    );
+    assert!(field(&exact, "interp_max_dev").is_none());
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn streamed_arena_digest_matches_direct_run_bit_for_bit() {
+    let handle = start(8, 2);
+    let mut client = Client::connect(&handle);
+
+    let result = run_to_result(
+        &mut client,
+        "submit kind=arena;system=B;env=indoor;days=0.1;seed=9;seeds=2;\
+         roster=ladder,neutral,fixed:0.05,hillclimb",
+    );
+    let wire_digest = field(&result, "digest").expect("digest field");
+
+    let spec = build_arena_spec(
+        SystemId::B,
+        "indoor",
+        9,
+        2,
+        "ladder,neutral,fixed:0.05,hillclimb",
+    )
+    .expect("valid arena spec");
+    let direct = run_arena(&spec, ArenaConfig::over(Seconds::from_days(0.1)));
+    assert_eq!(
+        wire_digest,
+        format!("{:016x}", digest_arena(&direct.summary)),
+        "daemon and direct arena engine disagree bit-for-bit"
+    );
+    assert_eq!(
+        field(&result, "winner").expect("winner field"),
+        direct.summary.standings[0].name,
+    );
+    assert_eq!(field(&result, "lanes").as_deref(), Some("8"));
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
 fn resubmitting_a_spec_yields_identical_receipts_and_summaries() {
     let handle = start(8, 1);
     let mut client = Client::connect(&handle);
@@ -373,6 +448,12 @@ fn malformed_specs_get_protocol_errors_and_daemon_survives() {
         "submit kind=fleet;system=A;dense_tier=interp:1",
         "submit kind=fleet;system=A;shard_size=0",
         "submit kind=single;system=A;dense_tier=batched",
+        // Arena specs: bad rosters, bad seed counts, fleet-only knobs.
+        "submit kind=arena",
+        "submit kind=arena;system=A;roster=warp",
+        "submit kind=arena;system=A;roster=ladder,ladder",
+        "submit kind=arena;system=A;seeds=0",
+        "submit kind=arena;system=A;population=4",
     ];
     for line in bad {
         let reply = client.roundtrip(line);
